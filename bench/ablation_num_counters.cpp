@@ -1,0 +1,44 @@
+// Ablation — how many counters should the model use?
+//
+// Sweeps the #Events parameter of Algorithm 1 from 1 to 8 and reports
+// in-sample fit, cross-validated accuracy, and the mean VIF of the selected
+// set. Reproduces the paper's stopping argument: beyond the low-VIF prefix,
+// more counters buy negligible accuracy but cost stability.
+#include <cstdio>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/validate.hpp"
+#include "repro_common.hpp"
+
+int main() {
+  using namespace pwx;
+  bench::print_header("Ablation: number of selected counters (1..8)",
+                      "R2 saturates after ~4-6 counters while mean VIF grows; "
+                      "the 7th counter is the paper's CA_SNP dilemma");
+
+  const bench::StandardPipeline& p = bench::StandardPipeline::get();
+
+  TablePrinter table(
+      {"#events", "last added", "fit R2 (2.4 GHz)", "CV MAPE [%]", "mean VIF"});
+  for (std::size_t n = 1; n <= p.unconstrained.steps.size(); ++n) {
+    std::vector<pmc::Preset> events;
+    for (std::size_t i = 0; i < n; ++i) {
+      events.push_back(p.unconstrained.steps[i].event);
+    }
+    core::FeatureSpec spec;
+    spec.events = events;
+    const auto cv = core::k_fold_cross_validation(*p.training, spec, 10, bench::kCvSeed);
+    table.row({std::to_string(n),
+               std::string(pmc::preset_name(p.unconstrained.steps[n - 1].event)),
+               format_double(p.unconstrained.steps[n - 1].r_squared, 4),
+               format_double(cv.mean.mape, 2),
+               bench::vif_cell(p.unconstrained.steps[n - 1].mean_vif)});
+  }
+  table.print(std::cout);
+
+  std::puts("\nshape check: accuracy gains flatten while the mean VIF eventually\n"
+            "explodes — selecting more events trades stability for noise.");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation — ridge regression vs subset selection under collinearity.
+//
+// The paper's CA_SNP dilemma: an informative but collinear event can neither
+// be selected (unstable coefficients) nor transformed. Ridge regression is
+// the textbook answer — keep *all* counters and shrink. This bench fits
+// Equation 1 over the full 54-preset feature set with OLS (where possible),
+// ridge (GCV-tuned), and LASSO, and compares against the paper's 6-counter
+// model on cross-validated accuracy.
+#include <cstdio>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/features.hpp"
+#include "core/validate.hpp"
+#include "regress/lasso.hpp"
+#include "regress/ridge.hpp"
+#include "stats/kfold.hpp"
+#include "stats/metrics.hpp"
+#include "repro_common.hpp"
+
+namespace {
+
+using namespace pwx;
+
+/// 10-fold CV of a regularized fit over a fixed design.
+template <typename FitFn>
+std::pair<double, double> cv_regularized(const la::Matrix& x,
+                                         const std::vector<double>& y, FitFn fit) {
+  const auto folds = stats::k_fold_splits(x.rows(), 10, bench::kCvSeed);
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (const stats::Fold& fold : folds) {
+    const la::Matrix x_train = x.select_rows(fold.train);
+    std::vector<double> y_train;
+    y_train.reserve(fold.train.size());
+    for (std::size_t i : fold.train) {
+      y_train.push_back(y[i]);
+    }
+    const auto model = fit(x_train, y_train);
+    const la::Matrix x_val = x.select_rows(fold.validate);
+    const std::vector<double> pred = model.predict(x_val);
+    for (std::size_t k = 0; k < fold.validate.size(); ++k) {
+      actual.push_back(y[fold.validate[k]]);
+      predicted.push_back(pred[k]);
+    }
+  }
+  return {stats::r_squared(actual, predicted), stats::mape(actual, predicted)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pwx;
+  bench::print_header(
+      "Ablation: ridge / LASSO over all 54 counters vs 6-counter OLS",
+      "shrinkage handles the collinear counters Algorithm 1 must reject "
+      "(the CA_SNP dilemma) at the cost of needing every counter at runtime");
+
+  const bench::StandardPipeline& p = bench::StandardPipeline::get();
+
+  // Full design: all 54 presets.
+  core::FeatureSpec full;
+  full.events = pmc::haswell_ep_available_events();
+  const la::Matrix x = core::build_features(*p.training, full);
+  const std::vector<double> y = p.training->power();
+
+  TablePrinter table({"model", "#features", "CV R2", "CV MAPE [%]", "note"});
+
+  {  // the paper's model
+    const auto cv = core::k_fold_cross_validation(*p.training, p.spec, 10,
+                                                  bench::kCvSeed);
+    table.row({"OLS, 6 selected counters (paper)",
+               std::to_string(p.spec.column_count()),
+               format_double(cv.mean.r_squared, 4), format_double(cv.mean.mape, 2),
+               "needs 2 multiplexed runs"});
+  }
+  {  // ridge over everything
+    const auto [r2, mape] = cv_regularized(
+        x, y, [](const la::Matrix& xt, const std::vector<double>& yt) {
+          return regress::fit_ridge_gcv(xt, yt);
+        });
+    const auto fit = regress::fit_ridge_gcv(x, y);
+    table.row({"ridge (GCV), all 54 counters", std::to_string(x.cols()),
+               format_double(r2, 4), format_double(mape, 2),
+               "lambda=" + format_double(fit.lambda, 4) +
+                   ", edof=" + format_double(fit.effective_dof, 1)});
+  }
+  {  // LASSO over everything
+    const auto [r2, mape] = cv_regularized(
+        x, y, [](const la::Matrix& xt, const std::vector<double>& yt) {
+          const auto path = regress::lasso_path(xt, yt, 25, 1e-3);
+          return path.back();
+        });
+    const auto path = regress::lasso_path(x, y, 25, 1e-3);
+    table.row({"LASSO (path end), all 54 counters", std::to_string(x.cols()),
+               format_double(r2, 4), format_double(mape, 2),
+               std::to_string(path.back().nonzero) + " non-zero coefficients"});
+  }
+  table.print(std::cout);
+
+  std::puts("\nshape check: shrinkage over the full counter set matches or beats\n"
+            "the 6-counter OLS without any selection step — but a deployment\n"
+            "would have to multiplex all 54 presets (~16 runs), which is why\n"
+            "the paper's small selected set remains the practical choice.");
+  return 0;
+}

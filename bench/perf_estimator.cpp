@@ -1,0 +1,70 @@
+// Performance of the deployment path: per-sample estimation latency of the
+// online estimator and Equation-1 feature construction. Run-time estimation
+// must cost microseconds, not milliseconds, to be usable as a power proxy.
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.hpp"
+#include "core/model.hpp"
+#include "core/model_io.hpp"
+#include "repro_common.hpp"
+
+namespace {
+
+using namespace pwx;
+
+const core::PowerModel& shared_model() {
+  static const core::PowerModel model = [] {
+    const bench::StandardPipeline& p = bench::StandardPipeline::get();
+    return core::train_model(*p.training, p.spec);
+  }();
+  return model;
+}
+
+core::CounterSample sample_for_model(const core::PowerModel& model) {
+  core::CounterSample sample;
+  sample.elapsed_s = 0.25;
+  sample.frequency_ghz = 2.4;
+  sample.voltage = 0.99;
+  for (pmc::Preset p : model.spec().events) {
+    sample.counts[p] = 1e8;
+  }
+  return sample;
+}
+
+void BM_EstimateSample(benchmark::State& state) {
+  core::OnlineEstimator estimator(shared_model());
+  const core::CounterSample sample = sample_for_model(shared_model());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(sample));
+  }
+}
+BENCHMARK(BM_EstimateSample);
+
+void BM_EstimateSampleSmoothed(benchmark::State& state) {
+  core::OnlineEstimator estimator(shared_model(), 0.5);
+  const core::CounterSample sample = sample_for_model(shared_model());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(sample));
+  }
+}
+BENCHMARK(BM_EstimateSampleSmoothed);
+
+void BM_TrainModel(benchmark::State& state) {
+  const bench::StandardPipeline& p = bench::StandardPipeline::get();
+  for (auto _ : state) {
+    const auto model = core::train_model(*p.training, p.spec);
+    benchmark::DoNotOptimize(model.fit().r_squared);
+  }
+}
+BENCHMARK(BM_TrainModel)->Unit(benchmark::kMillisecond);
+
+void BM_ModelJsonRoundTrip(benchmark::State& state) {
+  const core::PowerModel& model = shared_model();
+  for (auto _ : state) {
+    const auto loaded = core::model_from_json(core::model_to_json(model));
+    benchmark::DoNotOptimize(loaded.spec().events.size());
+  }
+}
+BENCHMARK(BM_ModelJsonRoundTrip);
+
+}  // namespace

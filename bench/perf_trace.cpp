@@ -1,0 +1,79 @@
+// Performance of the OTF2-lite trace layer: building traces through the
+// metric plugins, binary serialization, and phase-profile generation.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "sim/engine.hpp"
+#include "trace/phase_profile.hpp"
+#include "trace/plugins.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace pwx;
+
+sim::RunResult benchmark_run() {
+  const sim::Engine engine = sim::Engine::haswell_ep();
+  sim::RunConfig rc;
+  rc.interval_s = 0.05;  // fine-grained: ~800 intervals for md
+  rc.duration_scale = 1.0;
+  return engine.run(*workloads::find_workload("md"), rc);
+}
+
+const sim::RunResult& shared_run() {
+  static const sim::RunResult run = benchmark_run();
+  return run;
+}
+
+std::vector<pmc::Preset> four_events() {
+  return {pmc::Preset::TOT_CYC, pmc::Preset::TOT_INS, pmc::Preset::PRF_DM,
+          pmc::Preset::BR_MSP};
+}
+
+void BM_BuildTrace(benchmark::State& state) {
+  const auto& run = shared_run();
+  for (auto _ : state) {
+    const trace::Trace t = trace::build_standard_trace(run, four_events());
+    benchmark::DoNotOptimize(t.events().size());
+  }
+  state.counters["events"] = benchmark::Counter(static_cast<double>(
+      trace::build_standard_trace(run, four_events()).events().size()));
+}
+BENCHMARK(BM_BuildTrace)->Unit(benchmark::kMillisecond);
+
+void BM_SerializeTrace(benchmark::State& state) {
+  const trace::Trace t = trace::build_standard_trace(shared_run(), four_events());
+  for (auto _ : state) {
+    std::ostringstream os;
+    trace::write_trace(t, os);
+    benchmark::DoNotOptimize(os.str().size());
+  }
+}
+BENCHMARK(BM_SerializeTrace)->Unit(benchmark::kMillisecond);
+
+void BM_DeserializeTrace(benchmark::State& state) {
+  const trace::Trace t = trace::build_standard_trace(shared_run(), four_events());
+  std::ostringstream os;
+  trace::write_trace(t, os);
+  const std::string data = os.str();
+  for (auto _ : state) {
+    std::istringstream is(data);
+    const trace::Trace loaded = trace::read_trace(is);
+    benchmark::DoNotOptimize(loaded.events().size());
+  }
+  state.counters["bytes"] = benchmark::Counter(static_cast<double>(data.size()));
+}
+BENCHMARK(BM_DeserializeTrace)->Unit(benchmark::kMillisecond);
+
+void BM_PhaseProfiles(benchmark::State& state) {
+  const trace::Trace t = trace::build_standard_trace(shared_run(), four_events());
+  for (auto _ : state) {
+    const auto profiles = trace::build_phase_profiles(t);
+    benchmark::DoNotOptimize(profiles.size());
+  }
+}
+BENCHMARK(BM_PhaseProfiles)->Unit(benchmark::kMillisecond);
+
+}  // namespace

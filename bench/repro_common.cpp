@@ -1,0 +1,42 @@
+#include "repro_common.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace pwx::bench {
+
+const StandardPipeline& StandardPipeline::get() {
+  static const StandardPipeline pipeline = [] {
+    StandardPipeline p;
+    p.selection = &acquire::standard_selection_dataset();
+    p.training = &acquire::standard_training_dataset();
+
+    core::SelectionOptions unconstrained;
+    unconstrained.count = 8;
+    p.unconstrained = core::select_events(
+        *p.selection, pmc::haswell_ep_available_events(), unconstrained);
+
+    core::SelectionOptions vetoed;
+    vetoed.count = 6;
+    vetoed.max_mean_vif = 8.0;
+    p.vetoed =
+        core::select_events(*p.selection, pmc::haswell_ep_available_events(), vetoed);
+    p.spec.events = p.vetoed.selected();
+    return p;
+  }();
+  return pipeline;
+}
+
+void print_header(const std::string& experiment, const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("substrate: simulated 2x Xeon E5-2690 v3 (see DESIGN.md); compare\n");
+  std::printf("the *shape*, not absolute values.\n");
+  std::printf("================================================================\n\n");
+}
+
+std::string vif_cell(double vif) { return vif > 0.0 ? format_double(vif, 3) : "n/a"; }
+
+}  // namespace pwx::bench

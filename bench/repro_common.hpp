@@ -1,0 +1,40 @@
+// Shared state and helpers for the reproduction benches.
+//
+// Every repro_* binary regenerates one table or figure of the paper from the
+// same fixed-seed standard campaign, so their outputs are mutually
+// consistent and stable across runs. The pipeline (datasets, Algorithm 1
+// runs, feature spec) is built once per process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "acquire/campaign.hpp"
+#include "core/features.hpp"
+#include "core/selection.hpp"
+
+namespace pwx::bench {
+
+/// Seeds shared by all reproduction benches.
+inline constexpr std::uint64_t kCvSeed = 0xF01D;        ///< 10-fold CV indexing
+inline constexpr std::uint64_t kScenario1Seed = 1;      ///< the fixed 4-workload draw
+
+/// The standard reproduction pipeline, built once per process.
+struct StandardPipeline {
+  const acquire::Dataset* selection = nullptr;  ///< all workloads @ 2.4 GHz
+  const acquire::Dataset* training = nullptr;   ///< all workloads x 5 DVFS states
+  core::SelectionResult unconstrained;          ///< Algorithm 1, 8 steps, no veto
+  core::SelectionResult vetoed;                 ///< 6 steps with mean-VIF bound 8
+  core::FeatureSpec spec;                       ///< Eq. 1 spec on the vetoed events
+
+  static const StandardPipeline& get();
+};
+
+/// Print the standard bench header: experiment id, what the paper reports,
+/// and how to compare.
+void print_header(const std::string& experiment, const std::string& paper_claim);
+
+/// Format helper: fixed precision, "n/a" for non-positive VIFs.
+std::string vif_cell(double vif);
+
+}  // namespace pwx::bench

@@ -1,0 +1,49 @@
+// Table II — Summary of results for 10-fold cross validation.
+//
+// Paper: R² in [0.9904, 0.9913] (mean 0.9910), Adj.R² trailing by ~0.0004,
+// MAPE in [6.61, 8.32] with mean 7.55, across all workloads and DVFS states.
+#include <cstdio>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/validate.hpp"
+#include "repro_common.hpp"
+
+int main() {
+  using namespace pwx;
+  bench::print_header("Table II: 10-fold cross validation across all DVFS states",
+                      "R2 ~0.991, Adj.R2 ~R2-0.0004, MAPE 6.61..8.32 (mean 7.55)");
+
+  const bench::StandardPipeline& p = bench::StandardPipeline::get();
+  const core::CvSummary cv =
+      core::k_fold_cross_validation(*p.training, p.spec, 10, bench::kCvSeed);
+
+  std::puts("paper reference (Table II):");
+  TablePrinter ref({"Metric", "Min", "Max", "Mean"});
+  ref.row({"R2", "0.9904", "0.9913", "0.9910"});
+  ref.row({"Adj.R2", "0.9900", "0.9910", "0.9906"});
+  ref.row({"MAPE", "6.6114", "8.3198", "7.5452"});
+  ref.print(std::cout);
+
+  std::printf("\nthis reproduction (%zu rows, events:", p.training->size());
+  for (pmc::Preset e : p.spec.events) {
+    std::printf(" %s", std::string(pmc::preset_name(e)).c_str());
+  }
+  std::puts("):");
+  TablePrinter ours({"Metric", "Min", "Max", "Mean"});
+  ours.row({"R2", format_double(cv.min.r_squared, 4), format_double(cv.max.r_squared, 4),
+            format_double(cv.mean.r_squared, 4)});
+  ours.row({"Adj.R2", format_double(cv.min.adj_r_squared, 4),
+            format_double(cv.max.adj_r_squared, 4),
+            format_double(cv.mean.adj_r_squared, 4)});
+  ours.row({"MAPE", format_double(cv.min.mape, 4), format_double(cv.max.mape, 4),
+            format_double(cv.mean.mape, 4)});
+  ours.print(std::cout);
+
+  std::printf("\nshape check: high R2 with Adj.R2 trailing by only %.4f, and MAPE\n"
+              "in the high single digits — the paper's combination of an "
+              "excellent\nvariance fit with a noticeable relative error.\n",
+              cv.mean.r_squared - cv.mean.adj_r_squared);
+  return 0;
+}

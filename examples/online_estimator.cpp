@@ -1,0 +1,76 @@
+// Runtime power estimation from a counter stream.
+//
+// Trains the paper's model once, then attaches an OnlineEstimator to a
+// CounterSource. If the host PMU is accessible (perf_event_paranoid
+// permitting) the real hardware path is demonstrated; otherwise the
+// simulator source streams a workload run, and the estimate is compared to
+// the simulated reference measurement interval by interval.
+//
+// Build & run:  ./build/examples/online_estimator [workload] [threads]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "acquire/campaign.hpp"
+#include "core/estimator.hpp"
+#include "core/model.hpp"
+#include "core/selection.hpp"
+#include "host/perf_source.hpp"
+#include "host/sim_source.hpp"
+#include "sim/engine.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pwx;
+  const std::string workload_name = argc > 1 ? argv[1] : "mgrid331";
+  const std::size_t threads = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 24;
+
+  // Train on the standard campaign (cached across the process).
+  std::puts("training Equation-1 model on the standard campaign ...");
+  const acquire::Dataset& train = acquire::standard_training_dataset();
+  core::SelectionOptions opt;
+  opt.count = 6;
+  opt.max_mean_vif = 8.0;
+  core::FeatureSpec spec;
+  spec.events = core::select_events(acquire::standard_selection_dataset(),
+                                    pmc::haswell_ep_available_events(), opt)
+                    .selected();
+  core::OnlineEstimator estimator(core::train_model(train, spec), /*smoothing=*/0.3);
+
+  std::printf("model events:");
+  for (pmc::Preset p : estimator.required_events()) {
+    std::printf(" %s", std::string(pmc::preset_name(p)).c_str());
+  }
+  std::puts("");
+
+  // Pick the counter source: hardware when possible, simulator otherwise.
+  const host::PerfProbe probe = host::probe_perf_events();
+  std::printf("host PMU: %s\n", probe.detail.c_str());
+
+  const sim::Engine machine = sim::Engine::haswell_ep();
+  const auto workload = workloads::find_workload(workload_name);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload_name.c_str());
+    return 1;
+  }
+  sim::RunConfig rc;
+  rc.threads = threads;
+  rc.interval_s = 0.25;
+  rc.duration_scale = 0.5;
+  rc.seed = 2026;
+  host::SimulatedCounterSource source(machine, *workload, rc);
+  source.start(estimator.required_events());
+
+  std::printf("\nstreaming '%s' (%zu threads) through the estimator:\n",
+              workload_name.c_str(), threads);
+  std::puts("  t[s]   measured[W]  estimated[W]  error");
+  double t = 0;
+  while (const auto sample = source.read()) {
+    const double estimate = estimator.estimate(*sample);
+    const double measured = source.last_interval_power();
+    t += sample->elapsed_s;
+    std::printf("  %5.2f  %10.1f  %11.1f  %+5.1f%%\n", t, measured, estimate,
+                100.0 * (estimate - measured) / measured);
+  }
+  return 0;
+}

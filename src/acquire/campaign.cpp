@@ -1,0 +1,150 @@
+#include "acquire/campaign.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "cpu/dvfs.hpp"
+#include "trace/phase_profile.hpp"
+#include "trace/plugins.hpp"
+
+namespace pwx::acquire {
+
+namespace {
+
+/// One (workload, frequency, threads) acquisition unit.
+struct Configuration {
+  const workloads::Workload* workload = nullptr;
+  double frequency_ghz = 0;
+  std::size_t threads = 0;
+  std::uint64_t seed = 0;
+};
+
+std::vector<DataRow> acquire_configuration(const sim::Engine& engine,
+                                           const CampaignConfig& config,
+                                           const Configuration& unit) {
+  const std::vector<pmc::EventGroup> groups =
+      pmc::schedule_events(config.events, config.budget);
+  PWX_CHECK(!groups.empty(), "event schedule is empty");
+
+  // One run per event group; each run only records its group's presets.
+  std::vector<std::vector<trace::PhaseProfile>> per_run_profiles;
+  Rng seeder(unit.seed);
+  for (const pmc::EventGroup& group : groups) {
+    sim::RunConfig rc;
+    rc.frequency_ghz = unit.frequency_ghz;
+    rc.threads = unit.threads;
+    rc.interval_s = config.interval_s;
+    rc.duration_scale = config.duration_scale;
+    rc.seed = seeder();
+    const sim::RunResult run = engine.run(*unit.workload, rc);
+    const trace::Trace tr = trace::build_standard_trace(run, group.events);
+    per_run_profiles.push_back(trace::build_phase_profiles(tr));
+  }
+
+  // Merge per phase across runs.
+  std::vector<DataRow> rows;
+  const auto& reference = per_run_profiles.front();
+  for (std::size_t p = 0; p < reference.size(); ++p) {
+    std::vector<trace::PhaseProfile> variants;
+    variants.reserve(per_run_profiles.size());
+    for (const auto& run_profiles : per_run_profiles) {
+      PWX_CHECK(run_profiles.size() == reference.size(),
+                "runs produced differing phase sets for ", unit.workload->name);
+      PWX_CHECK(run_profiles[p].phase == reference[p].phase,
+                "phase order mismatch across runs");
+      variants.push_back(run_profiles[p]);
+    }
+    const trace::PhaseProfile merged = trace::merge_profiles(variants);
+
+    DataRow row;
+    row.workload = merged.workload;
+    row.phase = merged.phase;
+    row.suite = unit.workload->suite;
+    row.frequency_ghz = merged.frequency_ghz;
+    row.threads = merged.threads;
+    row.avg_power_watts = merged.avg_power_watts;
+    row.avg_voltage = merged.avg_voltage;
+    row.elapsed_s = merged.elapsed_s;
+    row.runs_merged = merged.runs_merged;
+    row.counter_rates = merged.counter_rates;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Dataset run_campaign(const sim::Engine& engine, const CampaignConfig& config) {
+  PWX_REQUIRE(!config.workloads.empty(), "campaign needs workloads");
+  PWX_REQUIRE(!config.frequencies_ghz.empty(), "campaign needs frequencies");
+  PWX_REQUIRE(!config.events.empty(), "campaign needs events to record");
+
+  // Enumerate configurations with deterministic per-unit seeds.
+  std::vector<Configuration> units;
+  Rng seeder(config.seed);
+  for (const workloads::Workload& workload : config.workloads) {
+    const std::vector<std::size_t> thread_counts =
+        workload.thread_scalable ? config.scalable_thread_counts
+                                 : std::vector<std::size_t>{config.fixed_thread_count};
+    for (double frequency : config.frequencies_ghz) {
+      for (std::size_t threads : thread_counts) {
+        units.push_back({&workload, frequency, threads, seeder()});
+      }
+    }
+  }
+  PWX_LOG_INFO("campaign: ", units.size(), " configurations x ",
+               pmc::runs_required(config.events, config.budget), " runs each");
+
+  std::vector<std::vector<DataRow>> results(units.size());
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    results[i] = acquire_configuration(engine, config, units[i]);
+  }
+
+  Dataset dataset;
+  for (auto& rows : results) {
+    for (DataRow& row : rows) {
+      dataset.append(std::move(row));
+    }
+  }
+  return dataset;
+}
+
+CampaignConfig standard_campaign_config(std::vector<double> frequencies_ghz,
+                                        std::uint64_t seed) {
+  CampaignConfig config;
+  config.workloads = workloads::all_workloads();
+  config.frequencies_ghz = std::move(frequencies_ghz);
+  config.events = pmc::haswell_ep_available_events();
+  config.seed = seed;
+  return config;
+}
+
+namespace {
+std::once_flag g_selection_once;
+std::once_flag g_training_once;
+Dataset g_selection_dataset;   // NOLINT: intentional process-lifetime cache
+Dataset g_training_dataset;    // NOLINT
+}  // namespace
+
+const Dataset& standard_selection_dataset() {
+  std::call_once(g_selection_once, [] {
+    const sim::Engine engine = sim::Engine::haswell_ep();
+    g_selection_dataset =
+        run_campaign(engine, standard_campaign_config({cpu::selection_frequency_ghz()}));
+  });
+  return g_selection_dataset;
+}
+
+const Dataset& standard_training_dataset() {
+  std::call_once(g_training_once, [] {
+    const sim::Engine engine = sim::Engine::haswell_ep();
+    g_training_dataset =
+        run_campaign(engine, standard_campaign_config(cpu::paper_frequencies_ghz()));
+  });
+  return g_training_dataset;
+}
+
+}  // namespace pwx::acquire

@@ -1,0 +1,55 @@
+// Acquisition campaigns: the paper's data-acquisition + post-processing
+// steps end to end.
+//
+// For every (workload, frequency, thread-count) configuration, the campaign
+// schedules the requested PAPI presets into hardware-feasible event groups
+// (pmc::schedule_events), executes one simulator run per group — each with
+// its own seed, so runs genuinely differ — traces each run through the
+// standard plugin set, post-processes traces into phase profiles, merges the
+// profiles across runs, and appends the merged rows to a Dataset.
+//
+// Campaigns are embarrassingly parallel over runs and are parallelized with
+// OpenMP when available.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "acquire/dataset.hpp"
+#include "pmc/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "workloads/registry.hpp"
+
+namespace pwx::acquire {
+
+/// What to acquire.
+struct CampaignConfig {
+  std::vector<workloads::Workload> workloads;
+  std::vector<double> frequencies_ghz = {2.4};
+  /// Thread counts swept for thread-scalable (roco2) workloads; workloads
+  /// with thread_scalable == false always run with all 24 threads.
+  std::vector<std::size_t> scalable_thread_counts = {1, 2, 4, 6, 8, 12, 16, 20, 24};
+  std::size_t fixed_thread_count = 24;
+  std::vector<pmc::Preset> events;     ///< presets to record (multiplexed)
+  pmc::CounterBudget budget;           ///< per-run hardware constraint
+  double interval_s = 0.25;            ///< metric sampling interval
+  double duration_scale = 0.4;         ///< scales workloads' nominal durations
+  std::uint64_t seed = 0xACD1;         ///< campaign-level seed
+};
+
+/// Execute a campaign on an engine.
+Dataset run_campaign(const sim::Engine& engine, const CampaignConfig& config);
+
+/// The paper's standard acquisition: all workloads, all 54 Haswell-EP
+/// presets, at the given frequencies. `seed` defaults to the fixed value the
+/// reproduction benches share so every bench sees the same "measurement".
+CampaignConfig standard_campaign_config(std::vector<double> frequencies_ghz,
+                                        std::uint64_t seed = 0xACD1);
+
+/// Cached standard datasets (acquired once per process, then shared):
+/// the selection dataset (2.4 GHz only) and the full training dataset
+/// (all five paper frequencies). Both record all 54 presets.
+const Dataset& standard_selection_dataset();
+const Dataset& standard_training_dataset();
+
+}  // namespace pwx::acquire

@@ -1,0 +1,145 @@
+#include "acquire/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pwx::acquire {
+
+double DataRow::rate_per_cycle(pmc::Preset preset) const {
+  const auto it = counter_rates.find(preset);
+  PWX_REQUIRE(it != counter_rates.end(), "row ", workload, "/", phase,
+              " lacks counter ", std::string(pmc::preset_name(preset)));
+  PWX_REQUIRE(frequency_ghz > 0.0, "row lacks a frequency");
+  return it->second / (frequency_ghz * 1e9);
+}
+
+bool DataRow::has(pmc::Preset preset) const {
+  return counter_rates.find(preset) != counter_rates.end();
+}
+
+Dataset Dataset::filter_suite(workloads::Suite suite) const {
+  std::vector<DataRow> out;
+  for (const DataRow& row : rows_) {
+    if (row.suite == suite) {
+      out.push_back(row);
+    }
+  }
+  return Dataset(std::move(out));
+}
+
+Dataset Dataset::filter_frequency(double frequency_ghz, double tol) const {
+  std::vector<DataRow> out;
+  for (const DataRow& row : rows_) {
+    if (std::abs(row.frequency_ghz - frequency_ghz) <= tol) {
+      out.push_back(row);
+    }
+  }
+  return Dataset(std::move(out));
+}
+
+Dataset Dataset::filter_workloads(const std::vector<std::string>& names) const {
+  std::vector<DataRow> out;
+  for (const DataRow& row : rows_) {
+    if (std::find(names.begin(), names.end(), row.workload) != names.end()) {
+      out.push_back(row);
+    }
+  }
+  return Dataset(std::move(out));
+}
+
+Dataset Dataset::exclude_workloads(const std::vector<std::string>& names) const {
+  std::vector<DataRow> out;
+  for (const DataRow& row : rows_) {
+    if (std::find(names.begin(), names.end(), row.workload) == names.end()) {
+      out.push_back(row);
+    }
+  }
+  return Dataset(std::move(out));
+}
+
+Dataset Dataset::select_rows(const std::vector<std::size_t>& indices) const {
+  std::vector<DataRow> out;
+  out.reserve(indices.size());
+  for (std::size_t index : indices) {
+    PWX_REQUIRE(index < rows_.size(), "row index ", index, " out of range");
+    out.push_back(rows_[index]);
+  }
+  return Dataset(std::move(out));
+}
+
+std::vector<std::string> Dataset::workload_names() const {
+  std::vector<std::string> names;
+  for (const DataRow& row : rows_) {
+    if (std::find(names.begin(), names.end(), row.workload) == names.end()) {
+      names.push_back(row.workload);
+    }
+  }
+  return names;
+}
+
+std::vector<std::size_t> Dataset::workload_groups() const {
+  const std::vector<std::string> names = workload_names();
+  std::vector<std::size_t> groups(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    groups[i] = static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), rows_[i].workload) - names.begin());
+  }
+  return groups;
+}
+
+la::Matrix Dataset::event_rate_matrix(const std::vector<pmc::Preset>& presets) const {
+  la::Matrix out(rows_.size(), presets.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < presets.size(); ++c) {
+      out(r, c) = rows_[r].rate_per_cycle(presets[c]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Dataset::power() const {
+  std::vector<double> out(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out[i] = rows_[i].avg_power_watts;
+  }
+  return out;
+}
+
+std::vector<double> Dataset::voltage() const {
+  std::vector<double> out(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out[i] = rows_[i].avg_voltage;
+  }
+  return out;
+}
+
+std::vector<double> Dataset::frequency_ghz() const {
+  std::vector<double> out(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out[i] = rows_[i].frequency_ghz;
+  }
+  return out;
+}
+
+std::vector<pmc::Preset> Dataset::common_presets() const {
+  if (rows_.empty()) {
+    return {};
+  }
+  std::vector<pmc::Preset> out;
+  for (const auto& [preset, rate] : rows_.front().counter_rates) {
+    bool everywhere = true;
+    for (const DataRow& row : rows_) {
+      if (!row.has(preset)) {
+        everywhere = false;
+        break;
+      }
+    }
+    if (everywhere) {
+      out.push_back(preset);
+    }
+  }
+  return out;
+}
+
+}  // namespace pwx::acquire

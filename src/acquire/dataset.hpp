@@ -1,0 +1,81 @@
+// Regression datasets assembled from merged phase profiles.
+//
+// One DataRow is one experiment point: a (workload, phase, frequency,
+// thread-count) combination with its average power, average voltage, and
+// per-second counter rates merged over all multiplexed runs. The Dataset
+// offers the filters and projections the modeling core needs (per-cycle
+// event-rate matrices, train/validate splits by row or by workload).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "pmc/events.hpp"
+#include "workloads/character.hpp"
+
+namespace pwx::acquire {
+
+/// One merged experiment point.
+struct DataRow {
+  std::string workload;
+  std::string phase;
+  workloads::Suite suite = workloads::Suite::Roco2;
+  double frequency_ghz = 0;
+  std::size_t threads = 0;
+  double avg_power_watts = 0;
+  double avg_voltage = 0;
+  double elapsed_s = 0;
+  std::size_t runs_merged = 1;
+  std::map<pmc::Preset, double> counter_rates;  ///< events per second
+
+  /// Events per nominal core cycle (rate / f) — the paper's E_n.
+  double rate_per_cycle(pmc::Preset preset) const;
+  bool has(pmc::Preset preset) const;
+};
+
+/// A set of experiment points plus dataset-level helpers.
+class Dataset {
+public:
+  Dataset() = default;
+  explicit Dataset(std::vector<DataRow> rows) : rows_(std::move(rows)) {}
+
+  const std::vector<DataRow>& rows() const { return rows_; }
+  std::vector<DataRow>& rows() { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  void append(DataRow row) { rows_.push_back(std::move(row)); }
+
+  /// Rows matching a predicate, as a new dataset.
+  Dataset filter_suite(workloads::Suite suite) const;
+  Dataset filter_frequency(double frequency_ghz, double tol = 1e-9) const;
+  Dataset filter_workloads(const std::vector<std::string>& names) const;
+  Dataset exclude_workloads(const std::vector<std::string>& names) const;
+  Dataset select_rows(const std::vector<std::size_t>& indices) const;
+
+  /// Distinct workload names in row order of first appearance.
+  std::vector<std::string> workload_names() const;
+
+  /// Group label per row (one label per distinct workload) for grouped CV.
+  std::vector<std::size_t> workload_groups() const;
+
+  /// Matrix of per-cycle rates E_n, one column per preset, one row per row.
+  /// Throws when a row lacks a requested counter.
+  la::Matrix event_rate_matrix(const std::vector<pmc::Preset>& presets) const;
+
+  /// Power vector (the regression target).
+  std::vector<double> power() const;
+  /// Voltage and frequency vectors (model inputs).
+  std::vector<double> voltage() const;
+  std::vector<double> frequency_ghz() const;
+
+  /// Presets recorded in *every* row (candidates usable for modeling).
+  std::vector<pmc::Preset> common_presets() const;
+
+private:
+  std::vector<DataRow> rows_;
+};
+
+}  // namespace pwx::acquire

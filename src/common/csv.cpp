@@ -1,0 +1,32 @@
+#include "common/csv.hpp"
+
+namespace pwx {
+
+std::string CsvWriter::escape(std::string_view field, char sep) {
+  const bool needs_quotes = field.find_first_of(std::string{sep} + "\"\n\r") !=
+                            std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string(field);
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) {
+      out_ << sep_;
+    }
+    out_ << escape(fields[i], sep_);
+  }
+  out_ << '\n';
+}
+
+}  // namespace pwx

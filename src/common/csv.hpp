@@ -1,0 +1,32 @@
+// Minimal CSV writer used by the reproduction benches to dump figure data.
+//
+// Fields containing separators, quotes, or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pwx {
+
+/// Streams rows of a CSV table to an std::ostream.
+class CsvWriter {
+public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+
+  /// Write one row; each field is escaped as needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: header row.
+  void header(const std::vector<std::string>& names) { row(names); }
+
+  /// Escape a single field (exposed for testing).
+  static std::string escape(std::string_view field, char sep);
+
+private:
+  std::ostream& out_;
+  char sep_;
+};
+
+}  // namespace pwx

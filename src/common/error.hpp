@@ -1,0 +1,70 @@
+// Error handling primitives for the pwx library.
+//
+// The library throws pwx::Error (derived from std::runtime_error) for all
+// recoverable failures. PWX_CHECK/PWX_REQUIRE provide formatted precondition
+// checks that stay enabled in release builds; violating them indicates misuse
+// of a public API, not an internal bug.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pwx {
+
+/// Base exception for all pwx failures.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine cannot proceed (singular matrix, ...).
+class NumericalError : public Error {
+public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O or serialization failures (trace files, model files).
+class IoError : public Error {
+public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+template <typename Exc, typename... Parts>
+[[noreturn]] void throw_formatted(std::string_view file, int line, Parts&&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  os << " [" << file << ':' << line << ']';
+  throw Exc(os.str());
+}
+}  // namespace detail
+
+}  // namespace pwx
+
+/// Check `cond`; on failure throw pwx::InvalidArgument with a formatted message.
+#define PWX_REQUIRE(cond, ...)                                                     \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      ::pwx::detail::throw_formatted<::pwx::InvalidArgument>(__FILE__, __LINE__,   \
+                                                             "requirement failed: " #cond ": ", \
+                                                             __VA_ARGS__);         \
+    }                                                                              \
+  } while (false)
+
+/// Check an internal invariant; on failure throw pwx::Error.
+#define PWX_CHECK(cond, ...)                                                  \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::pwx::detail::throw_formatted<::pwx::Error>(__FILE__, __LINE__,        \
+                                                   "check failed: " #cond ": ", \
+                                                   __VA_ARGS__);              \
+    }                                                                         \
+  } while (false)

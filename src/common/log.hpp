@@ -1,0 +1,41 @@
+// Lightweight leveled logging.
+//
+// The library is quiet by default (Warn); tools and examples raise the level.
+// Logging is synchronized so that multi-threaded acquisition campaigns don't
+// interleave characters.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pwx {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+
+/// Current global threshold.
+LogLevel log_level();
+
+/// Emit one line to stderr with a level prefix (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Parts>
+void log_fmt(LogLevel level, Parts&&... parts) {
+  if (level < log_level()) {
+    return;
+  }
+  std::ostringstream os;
+  (os << ... << parts);
+  log_message(level, os.str());
+}
+}  // namespace detail
+
+}  // namespace pwx
+
+#define PWX_LOG_DEBUG(...) ::pwx::detail::log_fmt(::pwx::LogLevel::Debug, __VA_ARGS__)
+#define PWX_LOG_INFO(...) ::pwx::detail::log_fmt(::pwx::LogLevel::Info, __VA_ARGS__)
+#define PWX_LOG_WARN(...) ::pwx::detail::log_fmt(::pwx::LogLevel::Warn, __VA_ARGS__)
+#define PWX_LOG_ERROR(...) ::pwx::detail::log_fmt(::pwx::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pwx {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PWX_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::row(std::vector<std::string> cells) {
+  PWX_REQUIRE(cells.size() == headers_.size(), "row has ", cells.size(),
+              " cells, expected ", headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        out << "  ";
+      }
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+}  // namespace pwx

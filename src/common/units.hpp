@@ -1,0 +1,37 @@
+// Physical unit conventions used throughout pwx.
+//
+// We deliberately keep quantities as plain doubles with *documented units*
+// rather than heavyweight unit types; conversion helpers make intent explicit
+// at call sites. Conventions:
+//   - frequency:     gigahertz (GHz) inside models, hertz at external APIs
+//   - voltage:       volts (V)
+//   - power:         watts (W), measured at the 12 V socket inputs
+//   - energy:        joules (J); per-event energies in nanojoules (nJ)
+//   - time:          seconds (s); trace timestamps in nanoseconds (ns)
+#pragma once
+
+#include <cstdint>
+
+namespace pwx::units {
+
+inline constexpr double kGigaHertz = 1e9;   ///< Hz per GHz
+inline constexpr double kMegaHertz = 1e6;   ///< Hz per MHz
+inline constexpr double kNanoJoule = 1e-9;  ///< J per nJ
+inline constexpr double kNanoSecond = 1e-9; ///< s per ns
+
+/// Convert hertz to gigahertz.
+constexpr double hz_to_ghz(double hz) { return hz / kGigaHertz; }
+
+/// Convert megahertz to gigahertz.
+constexpr double mhz_to_ghz(double mhz) { return mhz * kMegaHertz / kGigaHertz; }
+
+/// Convert gigahertz to hertz.
+constexpr double ghz_to_hz(double ghz) { return ghz * kGigaHertz; }
+
+/// Convert a nanosecond timestamp to seconds.
+constexpr double ns_to_s(std::uint64_t ns) { return static_cast<double>(ns) * kNanoSecond; }
+
+/// Convert seconds to a nanosecond timestamp (truncating).
+constexpr std::uint64_t s_to_ns(double s) { return static_cast<std::uint64_t>(s / kNanoSecond); }
+
+}  // namespace pwx::units

@@ -1,0 +1,42 @@
+#include "core/energy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pwx::core {
+
+EnergyAccountant::EnergyAccountant(PowerModel model)
+    : estimator_(std::move(model), /*smoothing=*/0.0) {}
+
+double EnergyAccountant::add(const CounterSample& sample) {
+  const double watts = estimator_.estimate(sample);
+  const double joules = watts * sample.elapsed_s;
+  energy_joules_ += joules;
+  elapsed_s_ += sample.elapsed_s;
+  peak_watts_ = std::max(peak_watts_, watts);
+  samples_ += 1;
+  return joules;
+}
+
+EnergyReport EnergyAccountant::report() const {
+  EnergyReport out;
+  out.energy_joules = energy_joules_;
+  out.elapsed_s = elapsed_s_;
+  out.average_watts = elapsed_s_ > 0.0 ? energy_joules_ / elapsed_s_ : 0.0;
+  out.peak_watts = peak_watts_;
+  out.energy_delay = energy_joules_ * elapsed_s_;
+  out.energy_delay_squared = energy_joules_ * elapsed_s_ * elapsed_s_;
+  out.samples = samples_;
+  return out;
+}
+
+void EnergyAccountant::reset() {
+  energy_joules_ = 0.0;
+  elapsed_s_ = 0.0;
+  peak_watts_ = 0.0;
+  samples_ = 0;
+  estimator_.reset();
+}
+
+}  // namespace pwx::core

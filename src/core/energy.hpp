@@ -1,0 +1,54 @@
+// Energy accounting on top of run-time power estimation.
+//
+// Power models exist to be integrated: energy-aware optimization (the
+// paper's motivation, going back to Bellosa's event-driven energy
+// accounting) needs joules attributed to execution intervals, not just a
+// power reading. The EnergyAccountant consumes the same CounterSample
+// stream as the OnlineEstimator and maintains the integral, plus the
+// energy-delay metrics used to compare optimization candidates.
+#pragma once
+
+#include "core/estimator.hpp"
+#include "core/model.hpp"
+
+namespace pwx::core {
+
+/// Accumulated energy statistics.
+struct EnergyReport {
+  double energy_joules = 0.0;
+  double elapsed_s = 0.0;
+  double average_watts = 0.0;       ///< energy / elapsed
+  double peak_watts = 0.0;          ///< highest interval estimate
+  double energy_delay = 0.0;        ///< E * t
+  double energy_delay_squared = 0.0;///< E * t²
+  std::size_t samples = 0;
+};
+
+/// Integrates estimated power over a counter-sample stream.
+class EnergyAccountant {
+public:
+  explicit EnergyAccountant(PowerModel model);
+
+  /// Account one interval; returns the interval's energy in joules.
+  double add(const CounterSample& sample);
+
+  /// Current totals.
+  EnergyReport report() const;
+
+  /// Restart accounting (the model is kept).
+  void reset();
+
+  const PowerModel& model() const { return estimator_.model(); }
+  const std::vector<pmc::Preset>& required_events() const {
+    return estimator_.required_events();
+  }
+
+private:
+  OnlineEstimator estimator_;
+  double energy_joules_ = 0.0;
+  double elapsed_s_ = 0.0;
+  double peak_watts_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace pwx::core

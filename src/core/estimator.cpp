@@ -1,0 +1,45 @@
+#include "core/estimator.hpp"
+
+#include "common/error.hpp"
+
+namespace pwx::core {
+
+OnlineEstimator::OnlineEstimator(PowerModel model, double smoothing)
+    : model_(std::move(model)), smoothing_(smoothing) {
+  PWX_REQUIRE(smoothing_ >= 0.0 && smoothing_ < 1.0, "smoothing must be in [0,1)");
+}
+
+double OnlineEstimator::estimate(const CounterSample& sample) {
+  PWX_REQUIRE(sample.elapsed_s > 0.0, "sample needs a positive elapsed time");
+  PWX_REQUIRE(sample.frequency_ghz > 0.0, "sample needs a frequency");
+  PWX_REQUIRE(sample.voltage > 0.0, "sample needs a voltage");
+
+  // Adapt the sample into a DataRow so the model's feature builder applies.
+  acquire::DataRow row;
+  row.workload = "online";
+  row.phase = "online";
+  row.frequency_ghz = sample.frequency_ghz;
+  row.avg_voltage = sample.voltage;
+  row.elapsed_s = sample.elapsed_s;
+  for (pmc::Preset preset : model_.spec().events) {
+    const auto it = sample.counts.find(preset);
+    PWX_REQUIRE(it != sample.counts.end(), "sample lacks event ",
+                std::string(pmc::preset_name(preset)));
+    row.counter_rates[preset] = it->second / sample.elapsed_s;
+  }
+
+  const double raw = model_.predict_row(row);
+  if (smoothing_ <= 0.0) {
+    return raw;
+  }
+  if (!smoothed_.has_value()) {
+    smoothed_ = raw;
+  } else {
+    smoothed_ = smoothing_ * *smoothed_ + (1.0 - smoothing_) * raw;
+  }
+  return *smoothed_;
+}
+
+void OnlineEstimator::reset() { smoothed_.reset(); }
+
+}  // namespace pwx::core

@@ -1,0 +1,73 @@
+// Streaming runtime power estimation.
+//
+// This is the deployment side of the paper's models: a CounterSource
+// delivers periodic counter/voltage samples (real perf_event hardware via
+// pwx::host, or the simulator), and the OnlineEstimator turns each sample
+// into a power estimate with optional exponential smoothing. The estimator
+// only needs the counters of the trained model — on Haswell the paper's six
+// events fit into a single hardware event set, so runtime estimation needs
+// no multiplexing.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/model.hpp"
+#include "pmc/events.hpp"
+
+namespace pwx::core {
+
+/// One periodic reading from a counter source.
+struct CounterSample {
+  double elapsed_s = 0;                     ///< interval covered by the counts
+  double frequency_ghz = 0;                 ///< operating frequency
+  double voltage = 0;                       ///< core VDD readout
+  std::map<pmc::Preset, double> counts;     ///< event counts over the interval
+};
+
+/// Abstract source of counter samples.
+class CounterSource {
+public:
+  virtual ~CounterSource() = default;
+
+  /// Presets this source can deliver.
+  virtual std::vector<pmc::Preset> available_events() const = 0;
+
+  /// Begin counting the given presets; throws when unsupported.
+  virtual void start(const std::vector<pmc::Preset>& events) = 0;
+
+  /// Read-and-reset: counts since the previous read. Returns nullopt when
+  /// the source is exhausted (simulated runs end; hardware never does).
+  virtual std::optional<CounterSample> read() = 0;
+};
+
+/// Turns counter samples into power estimates using a trained model.
+class OnlineEstimator {
+public:
+  /// `smoothing` in [0,1): exponential smoothing factor applied to the
+  /// estimate stream (0 = none).
+  explicit OnlineEstimator(PowerModel model, double smoothing = 0.0);
+
+  /// Estimate power for one sample. Throws when the sample lacks one of the
+  /// model's events.
+  double estimate(const CounterSample& sample);
+
+  /// The model's event requirements (what to pass to CounterSource::start).
+  const std::vector<pmc::Preset>& required_events() const {
+    return model_.spec().events;
+  }
+
+  const PowerModel& model() const { return model_; }
+
+  /// Reset the smoothing state.
+  void reset();
+
+private:
+  PowerModel model_;
+  double smoothing_;
+  std::optional<double> smoothed_;
+};
+
+}  // namespace pwx::core

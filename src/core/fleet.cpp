@@ -1,0 +1,71 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pwx::core {
+
+FleetEstimator::FleetEstimator(PowerModel node_model, double smoothing,
+                               double staleness_horizon_s)
+    : model_(std::move(node_model)), smoothing_(smoothing),
+      staleness_horizon_s_(staleness_horizon_s) {
+  PWX_REQUIRE(staleness_horizon_s_ > 0.0, "staleness horizon must be positive");
+}
+
+double FleetEstimator::ingest(const std::string& node, const CounterSample& sample,
+                              double now_s) {
+  PWX_REQUIRE(!node.empty(), "node name must not be empty");
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    it = nodes_.emplace(node, NodeState{OnlineEstimator(model_, smoothing_), 0.0, -1.0})
+             .first;
+  }
+  NodeState& state = it->second;
+  PWX_REQUIRE(now_s >= state.last_seen_s, "fleet time went backwards for node '", node,
+              "'");
+  state.last_estimate = state.estimator.estimate(sample);
+  state.last_seen_s = now_s;
+  return state.last_estimate;
+}
+
+FleetSnapshot FleetEstimator::snapshot(double now_s) const {
+  FleetSnapshot snap;
+  bool first = true;
+  for (const auto& [name, state] : nodes_) {
+    if (state.last_seen_s < 0.0 ||
+        now_s - state.last_seen_s > staleness_horizon_s_) {
+      snap.nodes_stale += 1;
+      continue;
+    }
+    snap.total_watts += state.last_estimate;
+    snap.nodes_reporting += 1;
+    if (first) {
+      snap.max_node_watts = snap.min_node_watts = state.last_estimate;
+      first = false;
+    } else {
+      snap.max_node_watts = std::max(snap.max_node_watts, state.last_estimate);
+      snap.min_node_watts = std::min(snap.min_node_watts, state.last_estimate);
+    }
+  }
+  return snap;
+}
+
+std::optional<double> FleetEstimator::node_estimate(const std::string& node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.last_seen_s < 0.0) {
+    return std::nullopt;
+  }
+  return it->second.last_estimate;
+}
+
+std::vector<std::string> FleetEstimator::nodes() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [name, state] : nodes_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace pwx::core

@@ -1,0 +1,71 @@
+// Fleet-scale power estimation.
+//
+// The paper's outlook asks for "the adaptation of the model to a larger
+// scale such that it can be applied to peta- or exa-scale systems instead of
+// individual nodes". The FleetEstimator applies one trained node model to
+// counter streams from many nodes and maintains the aggregate: per-node
+// estimates, the fleet total, and staleness bookkeeping so that nodes whose
+// telemetry stopped do not silently freeze the total.
+//
+// The node model transfers across machines of the same type because it is a
+// function of architecture-level rates (Equation 1), not of one part's
+// calibration — `integration_test` and the cluster example quantify the
+// transfer error across simulated part variation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/model.hpp"
+
+namespace pwx::core {
+
+/// Aggregated view of the fleet at a point in time.
+struct FleetSnapshot {
+  double total_watts = 0.0;          ///< sum over nodes with fresh estimates
+  std::size_t nodes_reporting = 0;   ///< nodes included in the total
+  std::size_t nodes_stale = 0;       ///< nodes beyond the staleness horizon
+  double max_node_watts = 0.0;
+  double min_node_watts = 0.0;
+};
+
+/// Applies a per-node power model across a fleet of nodes.
+class FleetEstimator {
+public:
+  /// `staleness_horizon_s`: a node whose last sample is older than this (in
+  /// fleet time) is excluded from totals and counted as stale.
+  explicit FleetEstimator(PowerModel node_model, double smoothing = 0.0,
+                          double staleness_horizon_s = 10.0);
+
+  /// Ingest one node's sample at fleet time `now_s`; returns the node's
+  /// power estimate. Unknown node names are registered on first use.
+  double ingest(const std::string& node, const CounterSample& sample, double now_s);
+
+  /// Aggregate over all known nodes at fleet time `now_s`.
+  FleetSnapshot snapshot(double now_s) const;
+
+  /// Last estimate of one node (nullopt when the node never reported).
+  std::optional<double> node_estimate(const std::string& node) const;
+
+  /// Registered node names (sorted).
+  std::vector<std::string> nodes() const;
+
+  const PowerModel& model() const { return model_; }
+
+private:
+  struct NodeState {
+    OnlineEstimator estimator;
+    double last_estimate = 0.0;
+    double last_seen_s = -1.0;
+  };
+
+  PowerModel model_;
+  double smoothing_;
+  double staleness_horizon_s_;
+  std::map<std::string, NodeState> nodes_;
+};
+
+}  // namespace pwx::core

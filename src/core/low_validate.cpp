@@ -1,0 +1,49 @@
+#include "core/low_validate.hpp"
+
+#include "common/error.hpp"
+#include "core/model.hpp"
+#include "stats/metrics.hpp"
+
+namespace pwx::core {
+
+LowoSummary leave_one_workload_out(const acquire::Dataset& dataset,
+                                   const FeatureSpec& spec) {
+  const std::vector<std::string> names = dataset.workload_names();
+  PWX_REQUIRE(names.size() >= 2, "LOWO needs at least two workloads");
+
+  LowoSummary summary;
+  double mape_sum = 0.0;
+  std::size_t valid = 0;
+  for (const std::string& name : names) {
+    WorkloadHoldout holdout;
+    holdout.workload = name;
+    const acquire::Dataset validate = dataset.filter_workloads({name});
+    const acquire::Dataset train = dataset.exclude_workloads({name});
+    holdout.rows = validate.size();
+    try {
+      const PowerModel model = train_model(train, spec);
+      const std::vector<double> predicted = model.predict(validate);
+      const std::vector<double> actual = validate.power();
+      holdout.mape = stats::mape(actual, predicted);
+      double bias = 0.0;
+      for (std::size_t i = 0; i < actual.size(); ++i) {
+        bias += (predicted[i] - actual[i]) / actual[i];
+      }
+      holdout.bias = bias / static_cast<double>(actual.size());
+      mape_sum += holdout.mape;
+      valid += 1;
+      if (holdout.mape > summary.worst_mape) {
+        summary.worst_mape = holdout.mape;
+        summary.worst_workload = name;
+      }
+    } catch (const NumericalError&) {
+      holdout.fit_failed = true;
+    }
+    summary.holdouts.push_back(std::move(holdout));
+  }
+  PWX_CHECK(valid > 0, "every LOWO fit failed");
+  summary.mean_mape = mape_sum / static_cast<double>(valid);
+  return summary;
+}
+
+}  // namespace pwx::core

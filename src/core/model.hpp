@@ -1,0 +1,48 @@
+// The trained power model (Equation 1) and its training entry point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "acquire/dataset.hpp"
+#include "core/features.hpp"
+#include "regress/ols.hpp"
+
+namespace pwx::core {
+
+/// A fitted Equation-1 model.
+class PowerModel {
+public:
+  PowerModel() = default;
+  PowerModel(FeatureSpec spec, regress::OlsResult fit)
+      : spec_(std::move(spec)), fit_(std::move(fit)) {}
+
+  const FeatureSpec& spec() const { return spec_; }
+  const regress::OlsResult& fit() const { return fit_; }
+
+  /// Model coefficients by role.
+  double delta_z() const;                   ///< intercept (δ·Z with Z == 1)
+  double beta() const;                      ///< the β·V²f coefficient
+  double gamma() const;                     ///< the γ·V coefficient
+  std::vector<double> alphas() const;       ///< α_n per event, in spec order
+
+  /// Predicted power for every row of a dataset.
+  std::vector<double> predict(const acquire::Dataset& dataset) const;
+
+  /// Predicted power for a single row.
+  double predict_row(const acquire::DataRow& row) const;
+
+  /// statsmodels-style text summary with Eq.1 term names.
+  std::string summary() const;
+
+private:
+  FeatureSpec spec_;
+  regress::OlsResult fit_;
+};
+
+/// Train Equation 1 on a dataset. Defaults follow the paper: intercept (δZ),
+/// HC3 heteroscedasticity-consistent standard errors.
+PowerModel train_model(const acquire::Dataset& dataset, const FeatureSpec& spec,
+                       regress::CovarianceType cov = regress::CovarianceType::HC3);
+
+}  // namespace pwx::core

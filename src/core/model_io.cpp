@@ -1,0 +1,126 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace pwx::core {
+
+namespace {
+
+const char* cov_name(regress::CovarianceType cov) {
+  switch (cov) {
+    case regress::CovarianceType::NonRobust: return "nonrobust";
+    case regress::CovarianceType::HC0: return "HC0";
+    case regress::CovarianceType::HC1: return "HC1";
+    case regress::CovarianceType::HC2: return "HC2";
+    case regress::CovarianceType::HC3: return "HC3";
+  }
+  return "nonrobust";
+}
+
+regress::CovarianceType cov_from_name(const std::string& name) {
+  if (name == "nonrobust") return regress::CovarianceType::NonRobust;
+  if (name == "HC0") return regress::CovarianceType::HC0;
+  if (name == "HC1") return regress::CovarianceType::HC1;
+  if (name == "HC2") return regress::CovarianceType::HC2;
+  if (name == "HC3") return regress::CovarianceType::HC3;
+  throw IoError("unknown covariance type '" + name + "' in model file");
+}
+
+}  // namespace
+
+std::string model_to_json(const PowerModel& model) {
+  Json root;
+  root["format"] = "pwx-power-model";
+  root["version"] = 1;
+
+  Json::Array events;
+  for (pmc::Preset preset : model.spec().events) {
+    events.emplace_back(std::string(pmc::preset_name(preset)));
+  }
+  root["events"] = Json(std::move(events));
+  root["normalization"] =
+      model.spec().normalization == RateNormalization::PerCycle ? "per_cycle"
+                                                                : "per_second";
+  root["include_dynamic_base"] = model.spec().include_dynamic_base;
+  root["include_static_v"] = model.spec().include_static_v;
+
+  Json::Array beta;
+  Json::Array se;
+  for (std::size_t i = 0; i < model.fit().beta.size(); ++i) {
+    beta.emplace_back(model.fit().beta[i]);
+    se.emplace_back(model.fit().standard_error[i]);
+  }
+  root["coefficients"] = Json(std::move(beta));
+  root["standard_errors"] = Json(std::move(se));
+  root["cov_type"] = cov_name(model.fit().cov_type);
+  root["r_squared"] = model.fit().r_squared;
+  root["adj_r_squared"] = model.fit().adj_r_squared;
+  root["n_observations"] = model.fit().n_observations;
+  return root.dump();
+}
+
+void save_model(const PowerModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("cannot open '" + path + "' for writing");
+  }
+  out << model_to_json(model) << '\n';
+  if (!out) {
+    throw IoError("write to '" + path + "' failed");
+  }
+}
+
+PowerModel model_from_json(const std::string& text) {
+  const Json root = Json::parse(text);
+  if (root.at("format").as_string() != "pwx-power-model") {
+    throw IoError("not a pwx power model file");
+  }
+
+  FeatureSpec spec;
+  for (const Json& name : root.at("events").as_array()) {
+    const auto preset = pmc::preset_from_name(name.as_string());
+    if (!preset) {
+      throw IoError("unknown preset '" + name.as_string() + "' in model file");
+    }
+    spec.events.push_back(*preset);
+  }
+  spec.normalization = root.at("normalization").as_string() == "per_cycle"
+                           ? RateNormalization::PerCycle
+                           : RateNormalization::PerSecond;
+  spec.include_dynamic_base = root.at("include_dynamic_base").as_bool();
+  spec.include_static_v = root.at("include_static_v").as_bool();
+
+  regress::OlsResult fit;
+  for (const Json& value : root.at("coefficients").as_array()) {
+    fit.beta.push_back(value.as_number());
+  }
+  for (const Json& value : root.at("standard_errors").as_array()) {
+    fit.standard_error.push_back(value.as_number());
+  }
+  if (fit.beta.size() != spec.column_count() + 1) {
+    throw IoError("model file coefficient count does not match the feature spec");
+  }
+  fit.has_intercept = true;
+  fit.cov_type = cov_from_name(root.at("cov_type").as_string());
+  fit.r_squared = root.at("r_squared").as_number();
+  fit.adj_r_squared = root.at("adj_r_squared").as_number();
+  fit.n_observations = static_cast<std::size_t>(root.at("n_observations").as_number());
+  fit.n_parameters = fit.beta.size();
+  return PowerModel(spec, std::move(fit));
+}
+
+PowerModel load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return model_from_json(buffer.str());
+}
+
+}  // namespace pwx::core

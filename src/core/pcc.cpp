@@ -1,0 +1,22 @@
+#include "core/pcc.hpp"
+
+#include "stats/correlation.hpp"
+
+namespace pwx::core {
+
+std::vector<CounterCorrelation> correlate_with_power(
+    const acquire::Dataset& dataset, const std::vector<pmc::Preset>& presets) {
+  const std::vector<double> power = dataset.power();
+  std::vector<CounterCorrelation> out;
+  out.reserve(presets.size());
+  for (pmc::Preset preset : presets) {
+    std::vector<double> rates(dataset.size());
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      rates[i] = dataset.rows()[i].rate_per_cycle(preset);
+    }
+    out.push_back({preset, stats::pearson(rates, power)});
+  }
+  return out;
+}
+
+}  // namespace pwx::core

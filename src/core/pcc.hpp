@@ -1,0 +1,22 @@
+// Pearson-correlation analysis of counters against power (paper Section V,
+// Table III and Figure 6).
+#pragma once
+
+#include <vector>
+
+#include "acquire/dataset.hpp"
+#include "pmc/events.hpp"
+
+namespace pwx::core {
+
+/// PCC of one counter's per-cycle rate with power over a dataset.
+struct CounterCorrelation {
+  pmc::Preset preset = pmc::Preset::kCount;
+  double pcc = 0.0;
+};
+
+/// PCC for each given preset (Equation 2 via stats::pearson).
+std::vector<CounterCorrelation> correlate_with_power(
+    const acquire::Dataset& dataset, const std::vector<pmc::Preset>& presets);
+
+}  // namespace pwx::core

@@ -1,0 +1,173 @@
+#include "core/scenario.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/kfold.hpp"
+#include "stats/metrics.hpp"
+
+namespace pwx::core {
+
+namespace {
+
+void append_points(ScenarioResult& result, const acquire::Dataset& validate,
+                   const std::vector<double>& predicted) {
+  PWX_CHECK(validate.size() == predicted.size(), "prediction size mismatch");
+  for (std::size_t i = 0; i < validate.size(); ++i) {
+    const acquire::DataRow& row = validate.rows()[i];
+    ScenarioPoint point;
+    point.workload = row.workload;
+    point.phase = row.phase;
+    point.suite = row.suite;
+    point.frequency_ghz = row.frequency_ghz;
+    point.threads = row.threads;
+    point.actual_watts = row.avg_power_watts;
+    point.predicted_watts = predicted[i];
+    result.points.push_back(std::move(point));
+  }
+}
+
+void finalize(ScenarioResult& result) {
+  PWX_REQUIRE(!result.points.empty(), "scenario '", result.name,
+              "' produced no validation points");
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  actual.reserve(result.points.size());
+  predicted.reserve(result.points.size());
+  for (const ScenarioPoint& p : result.points) {
+    actual.push_back(p.actual_watts);
+    predicted.push_back(p.predicted_watts);
+  }
+  result.mape = stats::mape(actual, predicted);
+}
+
+}  // namespace
+
+double ScenarioResult::workload_mape(const std::string& workload) const {
+  std::vector<double> actual;
+  std::vector<double> predicted;
+  for (const ScenarioPoint& p : points) {
+    if (p.workload == workload) {
+      actual.push_back(p.actual_watts);
+      predicted.push_back(p.predicted_watts);
+    }
+  }
+  PWX_REQUIRE(!actual.empty(), "no scenario points for workload '", workload, "'");
+  return stats::mape(actual, predicted);
+}
+
+std::map<std::string, double> ScenarioResult::workload_bias() const {
+  std::map<std::string, double> sums;
+  std::map<std::string, std::size_t> counts;
+  for (const ScenarioPoint& p : points) {
+    sums[p.workload] += (p.predicted_watts - p.actual_watts) / p.actual_watts;
+    counts[p.workload] += 1;
+  }
+  std::map<std::string, double> out;
+  for (const auto& [workload, sum] : sums) {
+    out[workload] = sum / static_cast<double>(counts[workload]);
+  }
+  return out;
+}
+
+ScenarioResult scenario_random_workloads(const acquire::Dataset& dataset,
+                                         const FeatureSpec& spec,
+                                         std::size_t n_train, std::uint64_t seed,
+                                         std::size_t min_per_suite) {
+  const std::vector<std::string> names = dataset.workload_names();
+  PWX_REQUIRE(n_train >= 1 && n_train < names.size(), "scenario 1 needs 1 <= n_train < ",
+              names.size());
+  PWX_REQUIRE(2 * min_per_suite <= n_train, "min_per_suite too large for n_train");
+
+  // Suite of each workload (by its first row).
+  auto suite_of = [&](const std::string& name) {
+    for (const acquire::DataRow& row : dataset.rows()) {
+      if (row.workload == name) {
+        return row.suite;
+      }
+    }
+    throw Error("workload '" + name + "' not in dataset");
+  };
+
+  Rng rng(seed);
+  const std::vector<std::size_t> perm = rng.permutation(names.size());
+  std::vector<std::string> train_names;
+  std::size_t taken_roco = 0;
+  std::size_t taken_spec = 0;
+  // First pass: honour the stratification quota in permutation order.
+  for (std::size_t i = 0; i < perm.size() && train_names.size() < n_train; ++i) {
+    const std::string& name = names[perm[i]];
+    const bool is_roco = suite_of(name) == workloads::Suite::Roco2;
+    const std::size_t slots_left = n_train - train_names.size();
+    const std::size_t roco_needed = min_per_suite - std::min(min_per_suite, taken_roco);
+    const std::size_t spec_needed = min_per_suite - std::min(min_per_suite, taken_spec);
+    // Skip a workload whose suite is already saturated when the remaining
+    // slots are reserved for the other suite's quota.
+    if (is_roco && roco_needed == 0 && slots_left <= spec_needed) {
+      continue;
+    }
+    if (!is_roco && spec_needed == 0 && slots_left <= roco_needed) {
+      continue;
+    }
+    train_names.push_back(name);
+    (is_roco ? taken_roco : taken_spec) += 1;
+  }
+  PWX_CHECK(train_names.size() == n_train, "stratified draw failed");
+
+  ScenarioResult result;
+  result.name = "scenario1_random_workloads";
+  const acquire::Dataset train = dataset.filter_workloads(train_names);
+  const acquire::Dataset validate = dataset.exclude_workloads(train_names);
+  const PowerModel model = train_model(train, spec);
+  append_points(result, validate, model.predict(validate));
+  finalize(result);
+  return result;
+}
+
+ScenarioResult scenario_synthetic_to_spec(const acquire::Dataset& dataset,
+                                          const FeatureSpec& spec) {
+  ScenarioResult result;
+  result.name = "scenario2_synthetic_to_spec";
+  const acquire::Dataset train = dataset.filter_suite(workloads::Suite::Roco2);
+  const acquire::Dataset validate = dataset.filter_suite(workloads::Suite::SpecOmp);
+  PWX_REQUIRE(!train.empty() && !validate.empty(),
+              "scenario 2 needs both suites in the dataset");
+  const PowerModel model = train_model(train, spec);
+  append_points(result, validate, model.predict(validate));
+  finalize(result);
+  return result;
+}
+
+namespace {
+
+ScenarioResult kfold_scenario(std::string name, const acquire::Dataset& dataset,
+                              const FeatureSpec& spec, std::size_t k,
+                              std::uint64_t seed) {
+  ScenarioResult result;
+  result.name = std::move(name);
+  const std::vector<stats::Fold> folds = stats::k_fold_splits(dataset.size(), k, seed);
+  for (const stats::Fold& fold : folds) {
+    const acquire::Dataset train = dataset.select_rows(fold.train);
+    const acquire::Dataset validate = dataset.select_rows(fold.validate);
+    const PowerModel model = train_model(train, spec);
+    append_points(result, validate, model.predict(validate));
+  }
+  finalize(result);
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult scenario_kfold_all(const acquire::Dataset& dataset,
+                                  const FeatureSpec& spec, std::size_t k,
+                                  std::uint64_t seed) {
+  return kfold_scenario("scenario3_kfold_all", dataset, spec, k, seed);
+}
+
+ScenarioResult scenario_kfold_synthetic(const acquire::Dataset& dataset,
+                                        const FeatureSpec& spec, std::size_t k,
+                                        std::uint64_t seed) {
+  return kfold_scenario("scenario4_kfold_synthetic",
+                        dataset.filter_suite(workloads::Suite::Roco2), spec, k, seed);
+}
+
+}  // namespace pwx::core

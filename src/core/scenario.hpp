@@ -1,0 +1,71 @@
+// The paper's four train/validate scenarios (Section IV-B, Figure 4) and the
+// per-workload error analysis behind Figures 3 and 5.
+//
+//   1) train on four random workloads, validate on the rest;
+//   2) train on all roco2 (synthetic) workloads, validate on SPEC OMP2012;
+//   3) 10-fold CV over all experiments;
+//   4) 10-fold CV over the synthetic experiments only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "acquire/dataset.hpp"
+#include "core/features.hpp"
+#include "core/model.hpp"
+
+namespace pwx::core {
+
+/// One validated experiment point (a Figure-5 dot).
+struct ScenarioPoint {
+  std::string workload;
+  std::string phase;
+  workloads::Suite suite = workloads::Suite::Roco2;
+  double frequency_ghz = 0;
+  std::size_t threads = 0;
+  double actual_watts = 0;
+  double predicted_watts = 0;
+};
+
+/// Result of one scenario evaluation.
+struct ScenarioResult {
+  std::string name;
+  double mape = 0.0;
+  std::vector<ScenarioPoint> points;
+
+  /// MAPE restricted to one workload (Figure 3 bars).
+  double workload_mape(const std::string& workload) const;
+
+  /// Mean signed relative error per workload (positive = overestimated),
+  /// exposing the Figure-5a systematic biases.
+  std::map<std::string, double> workload_bias() const;
+};
+
+/// Scenario 1: `n_train` random workloads train the model, the rest validate.
+/// `min_per_suite` forces the draw to include at least that many workloads
+/// from each suite (0 = the paper's unconstrained random draw; with only
+/// four training workloads an unconstrained draw can land on a degenerate,
+/// single-character subset whose fit diverges on everything else).
+ScenarioResult scenario_random_workloads(const acquire::Dataset& dataset,
+                                         const FeatureSpec& spec,
+                                         std::size_t n_train, std::uint64_t seed,
+                                         std::size_t min_per_suite = 1);
+
+/// Scenario 2: train on synthetic (roco2), validate on SPEC OMP2012.
+ScenarioResult scenario_synthetic_to_spec(const acquire::Dataset& dataset,
+                                          const FeatureSpec& spec);
+
+/// Scenario 3: k-fold CV over all experiments; points come from the
+/// validation split of every fold (each row predicted exactly once).
+ScenarioResult scenario_kfold_all(const acquire::Dataset& dataset,
+                                  const FeatureSpec& spec, std::size_t k,
+                                  std::uint64_t seed);
+
+/// Scenario 4: k-fold CV over the synthetic experiments only.
+ScenarioResult scenario_kfold_synthetic(const acquire::Dataset& dataset,
+                                        const FeatureSpec& spec, std::size_t k,
+                                        std::uint64_t seed);
+
+}  // namespace pwx::core

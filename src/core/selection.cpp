@@ -1,0 +1,124 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "core/model.hpp"
+#include "regress/vif.hpp"
+
+namespace pwx::core {
+
+std::vector<pmc::Preset> SelectionResult::selected() const {
+  std::vector<pmc::Preset> out;
+  out.reserve(steps.size());
+  for (const SelectionStep& step : steps) {
+    out.push_back(step.event);
+  }
+  return out;
+}
+
+double selected_events_mean_vif(const acquire::Dataset& dataset,
+                                const std::vector<pmc::Preset>& events) {
+  PWX_REQUIRE(events.size() >= 2, "mean VIF needs at least two events");
+  const la::Matrix rates = dataset.event_rate_matrix(events);
+  return regress::mean_vif(rates);
+}
+
+SelectionResult select_events(const acquire::Dataset& dataset,
+                              const std::vector<pmc::Preset>& candidates,
+                              const SelectionOptions& options) {
+  PWX_REQUIRE(!candidates.empty(), "selection needs candidate events");
+  PWX_REQUIRE(options.count >= 1 && options.count <= candidates.size(),
+              "cannot select ", options.count, " events from ", candidates.size(),
+              " candidates");
+
+  SelectionResult result;
+  std::vector<pmc::Preset> selected;
+  std::vector<pmc::Preset> remaining = candidates;
+
+  auto fit_r2 = [&](const std::vector<pmc::Preset>& events, double& r2,
+                    double& adj_r2) -> bool {
+    FeatureSpec spec;
+    spec.events = events;
+    spec.normalization = options.normalization;
+    try {
+      // R² does not depend on the covariance estimator; use the cheap one.
+      const PowerModel model =
+          train_model(dataset, spec, regress::CovarianceType::NonRobust);
+      r2 = model.fit().r_squared;
+      adj_r2 = model.fit().adj_r_squared;
+      return true;
+    } catch (const NumericalError&) {
+      return false;  // perfectly collinear with an already-selected event
+    }
+  };
+
+  if (options.init_with_cycle_counter) {
+    // Walker et al. seed the set with the cycle counter.
+    const auto it = std::find(remaining.begin(), remaining.end(), pmc::Preset::TOT_CYC);
+    PWX_REQUIRE(it != remaining.end(),
+                "cycle-counter initialization requires TOT_CYC among the candidates");
+    selected.push_back(pmc::Preset::TOT_CYC);
+    remaining.erase(it);
+    SelectionStep step;
+    step.event = pmc::Preset::TOT_CYC;
+    PWX_CHECK(fit_r2(selected, step.r_squared, step.adj_r_squared),
+              "cycle-counter-only fit failed");
+    result.steps.push_back(step);
+  }
+
+  const bool vif_veto = std::isfinite(options.max_mean_vif);
+  while (selected.size() < options.count) {
+    double best_r2 = -std::numeric_limits<double>::infinity();
+    double best_adj = 0.0;
+    double best_vif = 0.0;
+    std::size_t best_index = remaining.size();
+
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      std::vector<pmc::Preset> trial = selected;
+      trial.push_back(remaining[i]);
+      double r2 = 0.0;
+      double adj = 0.0;
+      if (!fit_r2(trial, r2, adj)) {
+        continue;
+      }
+      if (r2 <= best_r2) {
+        continue;
+      }
+      double vif = 0.0;
+      if (trial.size() >= 2 && vif_veto) {
+        vif = selected_events_mean_vif(dataset, trial);
+        if (vif > options.max_mean_vif) {
+          continue;  // stage-2 veto: event is too collinear to stay stable
+        }
+      }
+      best_r2 = r2;
+      best_adj = adj;
+      best_vif = vif;
+      best_index = i;
+    }
+    PWX_CHECK(best_index < remaining.size(),
+              "no candidate event admits a full-rank fit within the VIF bound");
+
+    SelectionStep step;
+    step.event = remaining[best_index];
+    step.r_squared = best_r2;
+    step.adj_r_squared = best_adj;
+    selected.push_back(remaining[best_index]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_index));
+    if (selected.size() >= 2) {
+      step.mean_vif =
+          vif_veto ? best_vif : selected_events_mean_vif(dataset, selected);
+    }
+    PWX_LOG_DEBUG("selection step ", selected.size(), ": ",
+                  std::string(pmc::preset_name(step.event)), " R2=", step.r_squared,
+                  " meanVIF=", step.mean_vif);
+    result.steps.push_back(step);
+  }
+  return result;
+}
+
+}  // namespace pwx::core

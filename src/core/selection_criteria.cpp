@@ -1,0 +1,243 @@
+#include "core/selection_criteria.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/model.hpp"
+#include "core/pcc.hpp"
+#include "regress/lasso.hpp"
+#include "stats/correlation.hpp"
+#include "stats/standardize.hpp"
+
+namespace pwx::core {
+
+namespace {
+
+/// Lower-is-better criterion value for a fitted model.
+double criterion_value(SelectionCriterion criterion, const PowerModel& model) {
+  const auto& fit = model.fit();
+  switch (criterion) {
+    case SelectionCriterion::RSquared:
+      return -fit.r_squared;
+    case SelectionCriterion::AdjustedRSquared:
+      return -fit.adj_r_squared;
+    case SelectionCriterion::Aic:
+    case SelectionCriterion::Bic: {
+      double ss_res = 0.0;
+      for (double e : fit.residuals) {
+        ss_res += e * e;
+      }
+      const double n = static_cast<double>(fit.n_observations);
+      const double k = static_cast<double>(fit.n_parameters);
+      const double penalty =
+          criterion == SelectionCriterion::Aic ? 2.0 * k : k * std::log(n);
+      return n * std::log(std::max(ss_res, 1e-300) / n) + penalty;
+    }
+  }
+  throw InvalidArgument("invalid selection criterion");
+}
+
+bool is_information_criterion(SelectionCriterion criterion) {
+  return criterion == SelectionCriterion::Aic || criterion == SelectionCriterion::Bic;
+}
+
+}  // namespace
+
+std::vector<pmc::Preset> CriterionSelectionResult::selected() const {
+  std::vector<pmc::Preset> out;
+  out.reserve(steps.size());
+  for (const CriterionStep& step : steps) {
+    out.push_back(step.base.event);
+  }
+  return out;
+}
+
+CriterionSelectionResult select_events_with_criterion(
+    const acquire::Dataset& dataset, const std::vector<pmc::Preset>& candidates,
+    const SelectionOptions& options, SelectionCriterion criterion) {
+  PWX_REQUIRE(!candidates.empty(), "selection needs candidate events");
+  PWX_REQUIRE(options.count >= 1 && options.count <= candidates.size(),
+              "cannot select ", options.count, " events from ", candidates.size(),
+              " candidates");
+
+  CriterionSelectionResult result;
+  result.criterion = criterion;
+  std::vector<pmc::Preset> selected;
+  std::vector<pmc::Preset> remaining = candidates;
+  const bool vif_veto = std::isfinite(options.max_mean_vif);
+
+  // Criterion value of the event-free model, the early-stop reference.
+  double current = std::numeric_limits<double>::infinity();
+  {
+    FeatureSpec spec;
+    spec.normalization = options.normalization;
+    const PowerModel base =
+        train_model(dataset, spec, regress::CovarianceType::NonRobust);
+    current = criterion_value(criterion, base);
+  }
+
+  while (selected.size() < options.count) {
+    double best_value = std::numeric_limits<double>::infinity();
+    double best_r2 = 0.0;
+    double best_adj = 0.0;
+    double best_vif = 0.0;
+    std::size_t best_index = remaining.size();
+
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      std::vector<pmc::Preset> trial = selected;
+      trial.push_back(remaining[i]);
+      FeatureSpec spec;
+      spec.events = trial;
+      spec.normalization = options.normalization;
+      double value = 0.0;
+      double r2 = 0.0;
+      double adj = 0.0;
+      try {
+        const PowerModel model =
+            train_model(dataset, spec, regress::CovarianceType::NonRobust);
+        value = criterion_value(criterion, model);
+        r2 = model.fit().r_squared;
+        adj = model.fit().adj_r_squared;
+      } catch (const NumericalError&) {
+        continue;
+      }
+      if (value >= best_value) {
+        continue;
+      }
+      double vif = 0.0;
+      if (trial.size() >= 2 && vif_veto) {
+        vif = selected_events_mean_vif(dataset, trial);
+        if (vif > options.max_mean_vif) {
+          continue;
+        }
+      }
+      best_value = value;
+      best_r2 = r2;
+      best_adj = adj;
+      best_vif = vif;
+      best_index = i;
+    }
+    PWX_CHECK(best_index < remaining.size() ||
+                  is_information_criterion(criterion) || vif_veto,
+              "no candidate admits a full-rank fit");
+    if (best_index >= remaining.size()) {
+      result.stopped_early = true;
+      break;
+    }
+    // Information criteria stop when the best candidate does not improve.
+    if (is_information_criterion(criterion) && best_value >= current) {
+      result.stopped_early = true;
+      break;
+    }
+    current = best_value;
+
+    CriterionStep step;
+    step.base.event = remaining[best_index];
+    step.base.r_squared = best_r2;
+    step.base.adj_r_squared = best_adj;
+    step.criterion_value =
+        is_information_criterion(criterion) ? best_value : -best_value;
+    selected.push_back(remaining[best_index]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_index));
+    if (selected.size() >= 2) {
+      step.base.mean_vif =
+          vif_veto ? best_vif : selected_events_mean_vif(dataset, selected);
+    }
+    result.steps.push_back(step);
+  }
+  return result;
+}
+
+std::vector<pmc::Preset> select_events_by_correlation(
+    const acquire::Dataset& dataset, const std::vector<pmc::Preset>& candidates,
+    std::size_t count) {
+  PWX_REQUIRE(count >= 1 && count <= candidates.size(), "cannot take ", count,
+              " of ", candidates.size(), " candidates");
+  auto correlations = correlate_with_power(dataset, candidates);
+  std::stable_sort(correlations.begin(), correlations.end(),
+                   [](const CounterCorrelation& a, const CounterCorrelation& b) {
+                     return std::fabs(a.pcc) > std::fabs(b.pcc);
+                   });
+  std::vector<pmc::Preset> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(correlations[i].preset);
+  }
+  return out;
+}
+
+LassoSelectionResult select_events_lasso(const acquire::Dataset& dataset,
+                                         const std::vector<pmc::Preset>& candidates,
+                                         std::size_t count,
+                                         RateNormalization normalization) {
+  PWX_REQUIRE(count >= 1 && count <= candidates.size(), "cannot take ", count,
+              " of ", candidates.size(), " candidates");
+
+  FeatureSpec spec;
+  spec.events = candidates;
+  spec.normalization = normalization;
+  const la::Matrix x = build_features(dataset, spec);
+  const std::vector<double> y = dataset.power();
+
+  // Walk the path from sparse to dense; read off the first fit whose active
+  // set covers `count` *event* columns (the trailing V²f and V columns do
+  // not count as selected events).
+  const auto path = regress::lasso_path(x, y, 50, 1e-4);
+  const std::size_t n_events = candidates.size();
+  for (std::size_t s = 0; s < path.size(); ++s) {
+    const regress::LassoResult& fit = path[s];
+    std::vector<std::size_t> active_events;
+    for (std::size_t j : fit.active_set()) {
+      if (j < n_events) {
+        active_events.push_back(j);
+      }
+    }
+    if (active_events.size() < count) {
+      continue;
+    }
+    // Rank by |standardized coefficient| = |beta_j| * sd(column j).
+    const stats::ColumnScaler scaler = stats::ColumnScaler::fit(x);
+    std::stable_sort(active_events.begin(), active_events.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return std::fabs(fit.beta[a + 1]) * scaler.scale[a] >
+                              std::fabs(fit.beta[b + 1]) * scaler.scale[b];
+                     });
+    // LASSO happily splits weight across (near-)identical derived counters
+    // (PAPI aliases like L2_ICA/L2_ICR); keep only one representative of any
+    // such pair or the downstream OLS design is rank deficient.
+    std::vector<std::size_t> deduped;
+    for (std::size_t candidate : active_events) {
+      bool duplicate = false;
+      const auto col = x.col(candidate);
+      for (std::size_t taken : deduped) {
+        if (std::fabs(stats::pearson(col, x.col(taken))) > 0.999) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        deduped.push_back(candidate);
+      }
+      if (deduped.size() == count) {
+        break;
+      }
+    }
+    if (deduped.size() < count) {
+      continue;  // need a denser path point
+    }
+    LassoSelectionResult out;
+    out.lambda = fit.lambda;
+    out.r_squared = fit.r_squared;
+    out.path_position = s;
+    for (std::size_t i = 0; i < count; ++i) {
+      out.selected.push_back(candidates[deduped[i]]);
+    }
+    return out;
+  }
+  throw NumericalError(
+      "LASSO path never activated enough events — extend the path or reduce count");
+}
+
+}  // namespace pwx::core

@@ -1,0 +1,77 @@
+// Alternative event-selection algorithms and criteria.
+//
+// The paper's future work asks for "different statistical algorithms and
+// heuristic criterion's for selecting PMC events as variables for the
+// regression based power models". This module provides them on top of the
+// same dataset/feature machinery as Algorithm 1:
+//
+//   * stepwise forward selection driven by Adjusted R², AIC, or BIC instead
+//     of raw R² (the information criteria can stop early when an additional
+//     event is not worth its degree of freedom);
+//   * a correlation-ranking baseline (take the top-|PCC| counters) — the
+//     naive approach the paper's Section V implicitly argues against;
+//   * LASSO-path selection: the L1 path over all candidate events produces
+//     sparse models directly and stays stable under the collinearity that
+//     breaks greedy selection (the CA_SNP dilemma).
+//
+// `bench/ablation_selection_criteria` compares them all.
+#pragma once
+
+#include <vector>
+
+#include "acquire/dataset.hpp"
+#include "core/selection.hpp"
+#include "pmc/events.hpp"
+
+namespace pwx::core {
+
+/// Score that stepwise selection optimizes.
+enum class SelectionCriterion {
+  RSquared,           ///< Algorithm 1's criterion (maximize)
+  AdjustedRSquared,   ///< maximize; penalizes parameters mildly
+  Aic,                ///< minimize n·ln(SSR/n) + 2k
+  Bic,                ///< minimize n·ln(SSR/n) + k·ln(n)
+};
+
+/// Stepwise forward selection under `criterion`. Behaves like Algorithm 1
+/// but may stop before `options.count` events when no candidate improves an
+/// information criterion; the returned steps record the criterion value in
+/// `SelectionStep::r_squared`-adjacent fields (R²/Adj.R² are always filled).
+struct CriterionStep {
+  SelectionStep base;
+  double criterion_value = 0.0;
+};
+
+struct CriterionSelectionResult {
+  SelectionCriterion criterion = SelectionCriterion::RSquared;
+  std::vector<CriterionStep> steps;
+  bool stopped_early = false;  ///< information criterion refused more events
+
+  std::vector<pmc::Preset> selected() const;
+};
+
+CriterionSelectionResult select_events_with_criterion(
+    const acquire::Dataset& dataset, const std::vector<pmc::Preset>& candidates,
+    const SelectionOptions& options, SelectionCriterion criterion);
+
+/// Baseline: the `count` candidates with the highest |PCC| against power.
+std::vector<pmc::Preset> select_events_by_correlation(
+    const acquire::Dataset& dataset, const std::vector<pmc::Preset>& candidates,
+    std::size_t count);
+
+/// LASSO-path selection over all candidates (event-rate features; the V²f
+/// and V columns are part of the design but not eligible for "selection").
+struct LassoSelectionResult {
+  std::vector<pmc::Preset> selected;  ///< by descending |standardized coefficient|
+  double lambda = 0.0;                ///< penalty at which the set was read off
+  double r_squared = 0.0;             ///< fit quality at that penalty
+  std::size_t path_position = 0;      ///< index into the path
+};
+
+LassoSelectionResult select_events_lasso(const acquire::Dataset& dataset,
+                                         const std::vector<pmc::Preset>& candidates,
+                                         std::size_t count,
+                                         RateNormalization normalization =
+                                             RateNormalization::PerCycle);
+
+}  // namespace pwx::core

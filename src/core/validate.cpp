@@ -1,0 +1,54 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/model.hpp"
+#include "stats/kfold.hpp"
+#include "stats/metrics.hpp"
+
+namespace pwx::core {
+
+CvSummary k_fold_cross_validation(const acquire::Dataset& dataset,
+                                  const FeatureSpec& spec, std::size_t k,
+                                  std::uint64_t seed, regress::CovarianceType cov) {
+  const std::vector<stats::Fold> folds = stats::k_fold_splits(dataset.size(), k, seed);
+
+  CvSummary summary;
+  summary.min = {std::numeric_limits<double>::infinity(),
+                 std::numeric_limits<double>::infinity(),
+                 std::numeric_limits<double>::infinity()};
+  summary.max = {-std::numeric_limits<double>::infinity(),
+                 -std::numeric_limits<double>::infinity(),
+                 -std::numeric_limits<double>::infinity()};
+
+  for (const stats::Fold& fold : folds) {
+    const acquire::Dataset train = dataset.select_rows(fold.train);
+    const acquire::Dataset validate = dataset.select_rows(fold.validate);
+    const PowerModel model = train_model(train, spec, cov);
+
+    FoldMetrics m;
+    m.r_squared = model.fit().r_squared;
+    m.adj_r_squared = model.fit().adj_r_squared;
+    m.mape = stats::mape(validate.power(), model.predict(validate));
+    summary.folds.push_back(m);
+
+    summary.min.r_squared = std::min(summary.min.r_squared, m.r_squared);
+    summary.min.adj_r_squared = std::min(summary.min.adj_r_squared, m.adj_r_squared);
+    summary.min.mape = std::min(summary.min.mape, m.mape);
+    summary.max.r_squared = std::max(summary.max.r_squared, m.r_squared);
+    summary.max.adj_r_squared = std::max(summary.max.adj_r_squared, m.adj_r_squared);
+    summary.max.mape = std::max(summary.max.mape, m.mape);
+    summary.mean.r_squared += m.r_squared;
+    summary.mean.adj_r_squared += m.adj_r_squared;
+    summary.mean.mape += m.mape;
+  }
+  const double n = static_cast<double>(summary.folds.size());
+  summary.mean.r_squared /= n;
+  summary.mean.adj_r_squared /= n;
+  summary.mean.mape /= n;
+  return summary;
+}
+
+}  // namespace pwx::core

@@ -1,0 +1,56 @@
+#include "cpu/dvfs.hpp"
+
+#include "common/error.hpp"
+
+namespace pwx::cpu {
+
+DvfsTable::DvfsTable(std::vector<PState> points) : points_(std::move(points)) {
+  PWX_REQUIRE(points_.size() >= 2, "DVFS table needs at least two points");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    PWX_REQUIRE(points_[i].frequency_ghz > points_[i - 1].frequency_ghz,
+                "DVFS table must be strictly increasing in frequency");
+    PWX_REQUIRE(points_[i].voltage >= points_[i - 1].voltage,
+                "DVFS voltage must be non-decreasing with frequency");
+  }
+}
+
+double DvfsTable::voltage_at(double frequency_ghz) const {
+  if (frequency_ghz <= points_.front().frequency_ghz) {
+    return points_.front().voltage;
+  }
+  if (frequency_ghz >= points_.back().frequency_ghz) {
+    return points_.back().voltage;
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (frequency_ghz <= points_[i].frequency_ghz) {
+      const PState& lo = points_[i - 1];
+      const PState& hi = points_[i];
+      const double t =
+          (frequency_ghz - lo.frequency_ghz) / (hi.frequency_ghz - lo.frequency_ghz);
+      return lo.voltage + t * (hi.voltage - lo.voltage);
+    }
+  }
+  return points_.back().voltage;  // unreachable
+}
+
+DvfsTable haswell_ep_dvfs() {
+  // Nominal VID curve for an E5-2690 v3 with Turbo off. Values follow the
+  // typical Haswell-EP voltage plane: ~0.75 V at the 1.2 GHz floor rising to
+  // ~1.05 V at the 2.6 GHz nominal frequency.
+  return DvfsTable({
+      {1.2, 0.752},
+      {1.4, 0.784},
+      {1.6, 0.820},
+      {1.8, 0.856},
+      {2.0, 0.896},
+      {2.2, 0.944},
+      {2.4, 0.996},
+      {2.6, 1.048},
+  });
+}
+
+std::vector<double> paper_frequencies_ghz() { return {1.2, 1.6, 2.0, 2.4, 2.6}; }
+
+double selection_frequency_ghz() { return 2.4; }
+
+}  // namespace pwx::cpu

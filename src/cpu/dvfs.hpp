@@ -1,0 +1,53 @@
+// DVFS operating-point table (P-states).
+//
+// The paper runs every workload at fixed frequencies; the model reads the
+// actual core voltage at runtime instead of assuming a voltage model ("there
+// is no need for a CPU voltage model, given that it is possible to read
+// actual core voltages during runtime on contemporary Intel processors").
+// The table maps frequency to the *nominal* VID voltage; the simulator adds
+// small per-part offsets via cpu::VoltageSensor.
+#pragma once
+
+#include <vector>
+
+namespace pwx::cpu {
+
+/// One operating point.
+struct PState {
+  double frequency_ghz = 0.0;
+  double voltage = 0.0;  ///< nominal VDD in volts
+};
+
+/// Voltage/frequency curve with linear interpolation between table points.
+class DvfsTable {
+public:
+  /// Points must be strictly increasing in frequency.
+  explicit DvfsTable(std::vector<PState> points);
+
+  /// Nominal voltage at a frequency (clamped to the table range at the ends,
+  /// linearly interpolated inside).
+  double voltage_at(double frequency_ghz) const;
+
+  /// The raw table.
+  const std::vector<PState>& points() const { return points_; }
+
+  double min_frequency_ghz() const { return points_.front().frequency_ghz; }
+  double max_frequency_ghz() const { return points_.back().frequency_ghz; }
+
+private:
+  std::vector<PState> points_;
+};
+
+/// The Haswell-EP voltage/frequency curve used by the reproduction (nominal
+/// VID values, Turbo disabled).
+DvfsTable haswell_ep_dvfs();
+
+/// The five experimental frequencies of the paper, in GHz:
+/// 1.2, 1.6, 2.0, 2.4, 2.6 ("5 distinct operating frequencies between 1200
+/// and 2600 MHz").
+std::vector<double> paper_frequencies_ghz();
+
+/// The frequency the paper uses for counter selection (2400 MHz).
+double selection_frequency_ghz();
+
+}  // namespace pwx::cpu

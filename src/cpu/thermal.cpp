@@ -1,0 +1,4 @@
+// thermal.hpp is header-only; this translation unit exists so the model has a
+// home for out-of-line additions (transient RC dynamics) without touching the
+// build.
+#include "cpu/thermal.hpp"

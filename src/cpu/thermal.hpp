@@ -1,0 +1,22 @@
+// Lumped thermal model per socket.
+//
+// Leakage power depends on die temperature, and die temperature depends on
+// total socket power — the ground-truth generator solves this fixed point.
+// A single thermal resistance per socket (heatsink + spreading) is a standard
+// lumped approximation for steady-state workloads like the paper's kernels.
+#pragma once
+
+namespace pwx::cpu {
+
+/// Steady-state lumped thermal model.
+struct ThermalModel {
+  double ambient_celsius = 24.0;
+  double r_th_celsius_per_watt = 0.28;  ///< junction-to-ambient per socket
+
+  /// Steady-state die temperature for a socket dissipating `power_watts`.
+  double steady_state_temperature(double power_watts) const {
+    return ambient_celsius + r_th_celsius_per_watt * power_watts;
+  }
+};
+
+}  // namespace pwx::cpu

@@ -1,0 +1,32 @@
+#include "cpu/voltage.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pwx::cpu {
+
+VoltageSensor::VoltageSensor(const DvfsTable& table, double part_offset_volts,
+                             double loadline_volts_per_watt)
+    : table_(&table), part_offset_(part_offset_volts),
+      loadline_(loadline_volts_per_watt) {
+  PWX_REQUIRE(loadline_ >= 0.0, "load line must be non-negative");
+}
+
+double VoltageSensor::true_voltage(double frequency_ghz,
+                                   double socket_power_watts) const {
+  const double nominal = table_->voltage_at(frequency_ghz) + part_offset_;
+  const double droop = loadline_ * socket_power_watts;
+  return std::max(0.1, nominal - droop);
+}
+
+double VoltageSensor::read(double frequency_ghz, double socket_power_watts) const {
+  return quantize(true_voltage(frequency_ghz, socket_power_watts));
+}
+
+double VoltageSensor::quantize(double volts) {
+  constexpr double kLsb = 1.0 / 8192.0;  // 2^-13 V
+  return std::round(volts / kLsb) * kLsb;
+}
+
+}  // namespace pwx::cpu

@@ -1,0 +1,40 @@
+// Runtime core-voltage readout (scorep_x86_adapt / MSR PERF_STATUS analogue).
+//
+// Intel reports the core voltage in IA32_PERF_STATUS[47:32] in units of
+// 2^-13 V. The sensor model reproduces that quantization plus a small
+// per-part VID offset and load-line droop (voltage sags slightly under
+// current load) — the same effects a real MSR readout shows.
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/dvfs.hpp"
+
+namespace pwx::cpu {
+
+/// Models the per-core voltage a tool like x86_adapt would read.
+class VoltageSensor {
+public:
+  /// `part_offset_volts` models manufacturing VID variation for this part;
+  /// `loadline_ohms` models droop proportional to core current estimate.
+  VoltageSensor(const DvfsTable& table, double part_offset_volts = 0.0,
+                double loadline_volts_per_watt = 2.5e-4);
+
+  /// Voltage as the MSR would report it for a core running at
+  /// `frequency_ghz` while its socket dissipates `socket_power_watts`
+  /// (droop input). Quantized to 2^-13 V steps.
+  double read(double frequency_ghz, double socket_power_watts) const;
+
+  /// The true (unquantized) voltage, used by the ground-truth generator.
+  double true_voltage(double frequency_ghz, double socket_power_watts) const;
+
+  /// Quantize a voltage to the MSR's 2^-13 V resolution.
+  static double quantize(double volts);
+
+private:
+  const DvfsTable* table_;
+  double part_offset_;
+  double loadline_;
+};
+
+}  // namespace pwx::cpu

@@ -1,0 +1,143 @@
+#include "host/kernels.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pwx::host {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+KernelResult run_compute(double seconds) {
+  PWX_REQUIRE(seconds > 0.0, "kernel needs a positive duration");
+  const auto start = Clock::now();
+  double acc = 1.0;
+  std::uint64_t x = 0x243F6A8885A308D3ULL;
+  double ops = 0;
+  while (seconds_since(start) < seconds) {
+    for (int i = 0; i < 4096; ++i) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      acc = acc * 1.0000001 + static_cast<double>(x >> 40) * 1e-9;
+      acc -= static_cast<double>(static_cast<std::int64_t>(acc));
+    }
+    ops += 4096;
+  }
+  return {"compute", seconds_since(start), ops, acc};
+}
+
+KernelResult run_sqrt(double seconds) {
+  PWX_REQUIRE(seconds > 0.0, "kernel needs a positive duration");
+  const auto start = Clock::now();
+  double value = 1.7724538509055159;
+  double ops = 0;
+  while (seconds_since(start) < seconds) {
+    for (int i = 0; i < 2048; ++i) {
+      value = std::sqrt(value + 1.0);  // dependent chain: one sqrt at a time
+    }
+    ops += 2048;
+  }
+  return {"sqrt", seconds_since(start), ops, value};
+}
+
+KernelResult run_memory_read(double seconds, std::size_t buffer_mib) {
+  PWX_REQUIRE(seconds > 0.0 && buffer_mib > 0, "bad kernel parameters");
+  const std::size_t count = buffer_mib * 1024 * 1024 / sizeof(double);
+  std::vector<double> buffer(count, 1.5);
+  const auto start = Clock::now();
+  double sum = 0;
+  double bytes = 0;
+  while (seconds_since(start) < seconds) {
+    for (std::size_t i = 0; i < count; i += 8) {  // one load per cache line
+      sum += buffer[i];
+    }
+    bytes += static_cast<double>(count) * sizeof(double);
+  }
+  return {"memory_read", seconds_since(start), bytes, sum};
+}
+
+KernelResult run_memory_copy(double seconds, std::size_t buffer_mib) {
+  PWX_REQUIRE(seconds > 0.0 && buffer_mib > 0, "bad kernel parameters");
+  const std::size_t bytes_per_pass = buffer_mib * 1024 * 1024;
+  std::vector<char> src(bytes_per_pass, 1);
+  std::vector<char> dst(bytes_per_pass, 0);
+  const auto start = Clock::now();
+  double bytes = 0;
+  while (seconds_since(start) < seconds) {
+    std::memcpy(dst.data(), src.data(), bytes_per_pass);
+    bytes += static_cast<double>(bytes_per_pass);
+    src[0] = dst[bytes_per_pass - 1];  // serialize passes
+  }
+  return {"memory_copy", seconds_since(start), bytes,
+          static_cast<double>(dst[bytes_per_pass / 2])};
+}
+
+KernelResult run_matmul(double seconds, std::size_t n) {
+  PWX_REQUIRE(seconds > 0.0 && n >= 16, "bad kernel parameters");
+  std::vector<double> a(n * n, 1.0 / 3.0);
+  std::vector<double> b(n * n, 2.0 / 7.0);
+  std::vector<double> c(n * n, 0.0);
+  const auto start = Clock::now();
+  double flops = 0;
+  constexpr std::size_t kBlock = 32;
+  while (seconds_since(start) < seconds) {
+    for (std::size_t ii = 0; ii < n; ii += kBlock) {
+      for (std::size_t kk = 0; kk < n; kk += kBlock) {
+        for (std::size_t jj = 0; jj < n; jj += kBlock) {
+          for (std::size_t i = ii; i < ii + kBlock; ++i) {
+            for (std::size_t k = kk; k < kk + kBlock; ++k) {
+              const double aik = a[i * n + k];
+              for (std::size_t j = jj; j < jj + kBlock; ++j) {
+                c[i * n + j] += aik * b[k * n + j];
+              }
+            }
+          }
+        }
+      }
+    }
+    flops += 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+             static_cast<double>(n);
+    a[0] = c[n * n - 1] * 1e-12;  // serialize passes
+  }
+  return {"matmul", seconds_since(start), flops, c[n / 2 * n + n / 2]};
+}
+
+KernelResult run_busy_wait(double seconds) {
+  PWX_REQUIRE(seconds > 0.0, "kernel needs a positive duration");
+  const auto start = Clock::now();
+  double spins = 0;
+  volatile int sink = 0;
+  while (seconds_since(start) < seconds) {
+    for (int i = 0; i < 65536; ++i) {
+      sink = sink + 1;
+    }
+    spins += 65536;
+  }
+  return {"busy_wait", seconds_since(start), spins, static_cast<double>(sink)};
+}
+
+std::vector<std::string> kernel_names() {
+  return {"compute", "sqrt", "memory_read", "memory_copy", "matmul", "busy_wait"};
+}
+
+KernelResult run_kernel(const std::string& name, double seconds) {
+  if (name == "compute") return run_compute(seconds);
+  if (name == "sqrt") return run_sqrt(seconds);
+  if (name == "memory_read") return run_memory_read(seconds);
+  if (name == "memory_copy") return run_memory_copy(seconds);
+  if (name == "matmul") return run_matmul(seconds);
+  if (name == "busy_wait") return run_busy_wait(seconds);
+  throw InvalidArgument("unknown kernel '" + name + "'");
+}
+
+}  // namespace pwx::host

@@ -1,0 +1,47 @@
+// Real executable workload kernels (roco2-style) for the host data path.
+//
+// Each kernel runs for approximately the requested wall time and returns how
+// much work it did. They are the counterparts of the simulated roco2
+// descriptors: compute (ALU chain), sqrt (long-latency unit), memory_read /
+// memory_copy (streaming), matmul (blocked DGEMM), busy_wait (spin). Used by
+// the host_counters example and the perf smoke tests; results are returned
+// so the optimizer cannot delete the work.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pwx::host {
+
+/// Result of running one kernel.
+struct KernelResult {
+  std::string kernel;
+  double elapsed_s = 0;
+  double operations = 0;   ///< kernel-specific work unit count
+  double checksum = 0;     ///< defeats dead-code elimination
+};
+
+/// Dense dependent ALU chain (integer + FP mix).
+KernelResult run_compute(double seconds);
+
+/// Serialized square-root chain.
+KernelResult run_sqrt(double seconds);
+
+/// Streaming read over a buffer much larger than L3.
+KernelResult run_memory_read(double seconds, std::size_t buffer_mib = 64);
+
+/// Streaming copy between two large buffers.
+KernelResult run_memory_copy(double seconds, std::size_t buffer_mib = 64);
+
+/// Blocked double-precision matrix multiply.
+KernelResult run_matmul(double seconds, std::size_t n = 256);
+
+/// Spin loop (pause-style busy wait).
+KernelResult run_busy_wait(double seconds);
+
+/// All kernels by name, for CLI-style selection.
+std::vector<std::string> kernel_names();
+KernelResult run_kernel(const std::string& name, double seconds);
+
+}  // namespace pwx::host

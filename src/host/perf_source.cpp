@@ -1,0 +1,194 @@
+#include "host/perf_source.hpp"
+
+#include <ctime>
+
+#include "common/error.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace pwx::host {
+
+namespace {
+
+double monotonic_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+#if defined(__linux__)
+
+/// perf attr for a preset; returns false when the preset has no generic
+/// mapping (needs model-specific raw events, which we do not hardcode).
+bool preset_to_attr(pmc::Preset preset, perf_event_attr& attr) {
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+
+  auto hw = [&](std::uint64_t config) {
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.config = config;
+    return true;
+  };
+  auto cache = [&](std::uint64_t id, std::uint64_t op, std::uint64_t result) {
+    attr.type = PERF_TYPE_HW_CACHE;
+    attr.config = id | (op << 8) | (result << 16);
+    return true;
+  };
+
+  switch (preset) {
+    case pmc::Preset::TOT_CYC: return hw(PERF_COUNT_HW_CPU_CYCLES);
+    case pmc::Preset::REF_CYC: return hw(PERF_COUNT_HW_REF_CPU_CYCLES);
+    case pmc::Preset::TOT_INS: return hw(PERF_COUNT_HW_INSTRUCTIONS);
+    case pmc::Preset::BR_INS: return hw(PERF_COUNT_HW_BRANCH_INSTRUCTIONS);
+    case pmc::Preset::BR_MSP: return hw(PERF_COUNT_HW_BRANCH_MISSES);
+    case pmc::Preset::L3_TCM: return hw(PERF_COUNT_HW_CACHE_MISSES);
+    case pmc::Preset::L1_DCM:
+      return cache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                   PERF_COUNT_HW_CACHE_RESULT_MISS);
+    case pmc::Preset::L1_LDM:
+      return cache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                   PERF_COUNT_HW_CACHE_RESULT_MISS);
+    case pmc::Preset::L1_ICM:
+      return cache(PERF_COUNT_HW_CACHE_L1I, PERF_COUNT_HW_CACHE_OP_READ,
+                   PERF_COUNT_HW_CACHE_RESULT_MISS);
+    case pmc::Preset::TLB_DM:
+      return cache(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                   PERF_COUNT_HW_CACHE_RESULT_MISS);
+    case pmc::Preset::TLB_IM:
+      return cache(PERF_COUNT_HW_CACHE_ITLB, PERF_COUNT_HW_CACHE_OP_READ,
+                   PERF_COUNT_HW_CACHE_RESULT_MISS);
+    default: return false;
+  }
+}
+
+int open_counter(perf_event_attr& attr) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0 /*this task*/, -1 /*any cpu*/,
+              -1 /*no group*/, 0));
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+PerfProbe probe_perf_events() {
+#if defined(__linux__)
+  perf_event_attr attr{};
+  if (!preset_to_attr(pmc::Preset::TOT_CYC, attr)) {
+    return {false, "no mapping for TOT_CYC"};
+  }
+  const int fd = open_counter(attr);
+  if (fd < 0) {
+    return {false, std::string("perf_event_open failed: ") + std::strerror(errno)};
+  }
+  ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  long long value = 0;
+  const bool readable = ::read(fd, &value, sizeof value) == sizeof value;
+  ::close(fd);
+  if (!readable) {
+    return {false, "counter opened but not readable"};
+  }
+  return {true, "perf_event PMU access available"};
+#else
+  return {false, "perf_event is Linux-only"};
+#endif
+}
+
+PerfEventSource::PerfEventSource(double frequency_ghz, double voltage)
+    : frequency_ghz_(frequency_ghz), voltage_(voltage) {
+  PWX_REQUIRE(frequency_ghz_ > 0.0 && voltage_ > 0.0,
+              "PerfEventSource needs a positive operating point");
+}
+
+PerfEventSource::~PerfEventSource() { close_all(); }
+
+void PerfEventSource::close_all() {
+#if defined(__linux__)
+  for (OpenCounter& counter : counters_) {
+    if (counter.fd >= 0) {
+      ::close(counter.fd);
+      counter.fd = -1;
+    }
+  }
+#endif
+  counters_.clear();
+}
+
+std::vector<pmc::Preset> PerfEventSource::available_events() const {
+#if defined(__linux__)
+  std::vector<pmc::Preset> out;
+  for (const pmc::EventInfo& info : pmc::all_events()) {
+    perf_event_attr attr{};
+    if (preset_to_attr(info.preset, attr)) {
+      out.push_back(info.preset);
+    }
+  }
+  return out;
+#else
+  return {};
+#endif
+}
+
+void PerfEventSource::start(const std::vector<pmc::Preset>& events) {
+#if defined(__linux__)
+  close_all();
+  for (pmc::Preset preset : events) {
+    perf_event_attr attr{};
+    PWX_REQUIRE(preset_to_attr(preset, attr), "preset ",
+                std::string(pmc::preset_name(preset)),
+                " has no generic perf_event mapping");
+    const int fd = open_counter(attr);
+    if (fd < 0) {
+      close_all();
+      throw Error(std::string("perf_event_open failed for ") +
+                  std::string(pmc::preset_name(preset)) + ": " +
+                  std::strerror(errno));
+    }
+    counters_.push_back({preset, fd});
+  }
+  for (const OpenCounter& counter : counters_) {
+    ioctl(counter.fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(counter.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+  last_read_monotonic_s_ = monotonic_seconds();
+#else
+  (void)events;
+  throw Error("perf_event counting is only available on Linux");
+#endif
+}
+
+std::optional<core::CounterSample> PerfEventSource::read() {
+#if defined(__linux__)
+  PWX_REQUIRE(!counters_.empty(), "PerfEventSource::read before start");
+  const double now = monotonic_seconds();
+  core::CounterSample sample;
+  sample.elapsed_s = now - last_read_monotonic_s_;
+  sample.frequency_ghz = frequency_ghz_;
+  sample.voltage = voltage_;
+  for (const OpenCounter& counter : counters_) {
+    long long value = 0;
+    if (::read(counter.fd, &value, sizeof value) != sizeof value) {
+      throw Error("perf counter read failed");
+    }
+    ioctl(counter.fd, PERF_EVENT_IOC_RESET, 0);
+    sample.counts[counter.preset] = static_cast<double>(value);
+  }
+  last_read_monotonic_s_ = now;
+  return sample;
+#else
+  return std::nullopt;
+#endif
+}
+
+}  // namespace pwx::host

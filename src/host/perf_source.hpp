@@ -1,0 +1,66 @@
+// Hardware counter source backed by perf_event_open(2).
+//
+// This is the library's genuine PAPI-equivalent data path: on a Linux host
+// with PMU access (perf_event_paranoid permitting), the source programs the
+// subset of PAPI presets that map onto generic perf events and delivers
+// read-and-reset counter samples. Inside containers and on locked-down
+// machines the PMU is typically unavailable; `probe()` reports that cleanly
+// and callers fall back to the simulator source.
+//
+// Frequency and voltage are not readable without MSR access, so the caller
+// provides the operating point (the paper reads them via x86_adapt, which
+// needs a kernel module we cannot assume).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "pmc/events.hpp"
+
+namespace pwx::host {
+
+/// Outcome of probing the host PMU.
+struct PerfProbe {
+  bool usable = false;
+  std::string detail;  ///< human-readable reason when unusable
+};
+
+/// Check whether perf_event counting works here (opens and reads a cycles
+/// counter on the current task).
+PerfProbe probe_perf_events();
+
+/// perf_event-backed CounterSource.
+class PerfEventSource final : public core::CounterSource {
+public:
+  /// The operating point to report with each sample (the host analogue of
+  /// the paper's fixed f_clk and measured VDD).
+  PerfEventSource(double frequency_ghz, double voltage);
+  ~PerfEventSource() override;
+
+  PerfEventSource(const PerfEventSource&) = delete;
+  PerfEventSource& operator=(const PerfEventSource&) = delete;
+
+  /// Presets with a generic perf_event mapping on this build.
+  std::vector<pmc::Preset> available_events() const override;
+
+  void start(const std::vector<pmc::Preset>& events) override;
+
+  /// Counts since the previous read (counters are reset on read).
+  std::optional<core::CounterSample> read() override;
+
+private:
+  struct OpenCounter {
+    pmc::Preset preset;
+    int fd = -1;
+  };
+  void close_all();
+
+  double frequency_ghz_;
+  double voltage_;
+  std::vector<OpenCounter> counters_;
+  double last_read_monotonic_s_ = 0;
+};
+
+}  // namespace pwx::host

@@ -1,0 +1,41 @@
+#include "host/sim_source.hpp"
+
+#include "common/error.hpp"
+#include "pmc/activity.hpp"
+
+namespace pwx::host {
+
+SimulatedCounterSource::SimulatedCounterSource(const sim::Engine& engine,
+                                               workloads::Workload workload,
+                                               sim::RunConfig config)
+    : run_(engine.run(workload, config)) {}
+
+std::vector<pmc::Preset> SimulatedCounterSource::available_events() const {
+  return pmc::haswell_ep_available_events();
+}
+
+void SimulatedCounterSource::start(const std::vector<pmc::Preset>& events) {
+  PWX_REQUIRE(!events.empty(), "start needs events");
+  events_ = events;
+  next_interval_ = 0;
+  started_ = true;
+}
+
+std::optional<core::CounterSample> SimulatedCounterSource::read() {
+  PWX_REQUIRE(started_, "SimulatedCounterSource::read before start");
+  if (next_interval_ >= run_.intervals.size()) {
+    return std::nullopt;
+  }
+  const sim::IntervalRecord& interval = run_.intervals[next_interval_++];
+  core::CounterSample sample;
+  sample.elapsed_s = interval.t_end_s - interval.t_begin_s;
+  sample.frequency_ghz = run_.config.frequency_ghz;
+  sample.voltage = interval.measured_voltage;
+  for (pmc::Preset preset : events_) {
+    sample.counts[preset] = pmc::preset_value(preset, interval.counts);
+  }
+  last_power_ = interval.measured_power_watts;
+  return sample;
+}
+
+}  // namespace pwx::host

@@ -1,0 +1,40 @@
+// Simulator-backed counter source.
+//
+// Drives a simulated workload run through the CounterSource interface, so
+// the online estimator and examples exercise the same code path as with real
+// hardware — the fallback when probe_perf_events() reports no PMU access.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "sim/engine.hpp"
+#include "workloads/character.hpp"
+
+namespace pwx::host {
+
+/// Replays a simulated run interval by interval.
+class SimulatedCounterSource final : public core::CounterSource {
+public:
+  SimulatedCounterSource(const sim::Engine& engine, workloads::Workload workload,
+                         sim::RunConfig config);
+
+  std::vector<pmc::Preset> available_events() const override;
+  void start(const std::vector<pmc::Preset>& events) override;
+  std::optional<core::CounterSample> read() override;
+
+  /// True measured power of the interval most recently returned by read()
+  /// (lets callers compare estimate vs. "measurement").
+  double last_interval_power() const { return last_power_; }
+
+private:
+  sim::RunResult run_;
+  double nominal_voltage_ = 0;
+  std::vector<pmc::Preset> events_;
+  std::size_t next_interval_ = 0;
+  double last_power_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pwx::host

@@ -1,0 +1,175 @@
+#include "la/qr.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pwx::la {
+
+QrDecomposition::QrDecomposition(const Matrix& a) : qr_(a), tau_(a.cols(), 0.0) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  PWX_REQUIRE(m >= n && n > 0, "QR needs m >= n >= 1, got ", m, "x", n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      norm = std::hypot(norm, qr_(i, k));
+    }
+    if (norm == 0.0) {
+      tau_[k] = 0.0;
+      continue;
+    }
+    if (qr_(k, k) < 0.0) {
+      norm = -norm;  // norm takes x_k's sign so v_k = 1 + |x_k|/|x| (no cancellation)
+    }
+    for (std::size_t i = k; i < m; ++i) {
+      qr_(i, k) /= norm;
+    }
+    qr_(k, k) += 1.0;
+    tau_[k] = qr_(k, k);
+
+    // Apply the reflector to the remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) {
+        s += qr_(i, k) * qr_(i, j);
+      }
+      s = -s / qr_(k, k);
+      for (std::size_t i = k; i < m; ++i) {
+        qr_(i, j) += s * qr_(i, k);
+      }
+    }
+    qr_(k, k) = -norm;  // H x = -norm * e_k, so r_kk = -norm; v_k lives in tau_
+  }
+
+  // Rank tolerance relative to the largest diagonal magnitude.
+  double max_diag = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    max_diag = std::max(max_diag, std::fabs(qr_(k, k)));
+  }
+  rank_tol_ = std::max<double>(m, n) * std::numeric_limits<double>::epsilon() * max_diag;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (std::fabs(qr_(k, k)) <= rank_tol_) {
+      full_rank_ = false;
+      break;
+    }
+  }
+}
+
+std::vector<double> QrDecomposition::apply_qt(std::span<const double> b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  PWX_REQUIRE(b.size() == m, "apply_qt: expected length ", m, ", got ", b.size());
+  std::vector<double> y(b.begin(), b.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) {
+      continue;
+    }
+    // Reconstruct v_k: v_k[k] = tau_[k] (the stored 1+ value), below-diagonal
+    // entries live in qr_.
+    double s = tau_[k] * y[k];
+    for (std::size_t i = k + 1; i < m; ++i) {
+      s += qr_(i, k) * y[i];
+    }
+    s = -s / tau_[k];
+    y[k] += s * tau_[k];
+    for (std::size_t i = k + 1; i < m; ++i) {
+      y[i] += s * qr_(i, k);
+    }
+  }
+  return y;
+}
+
+std::vector<double> QrDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = qr_.cols();
+  if (!full_rank_) {
+    throw NumericalError("QR solve on rank-deficient matrix (collinear columns)");
+  }
+  std::vector<double> y = apply_qt(b);
+  std::vector<double> x(n);
+  for (std::size_t kk = n; kk-- > 0;) {
+    double s = y[kk];
+    for (std::size_t j = kk + 1; j < n; ++j) {
+      s -= qr_(kk, j) * x[j];
+    }
+    x[kk] = s / qr_(kk, kk);
+  }
+  return x;
+}
+
+Matrix QrDecomposition::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      out(i, j) = qr_(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix QrDecomposition::thin_q() const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  Matrix q(m, n);
+  // Start from the first n columns of I and apply reflectors in reverse.
+  for (std::size_t j = 0; j < n; ++j) {
+    q(j, j) = 1.0;
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    if (tau_[k] == 0.0) {
+      continue;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = tau_[k] * q(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) {
+        s += qr_(i, k) * q(i, j);
+      }
+      s = -s / tau_[k];
+      q(k, j) += s * tau_[k];
+      for (std::size_t i = k + 1; i < m; ++i) {
+        q(i, j) += s * qr_(i, k);
+      }
+    }
+  }
+  return q;
+}
+
+Matrix QrDecomposition::r_inverse() const {
+  const std::size_t n = qr_.cols();
+  if (!full_rank_) {
+    throw NumericalError("R inverse on rank-deficient factor");
+  }
+  Matrix inv(n, n);
+  // Solve R * inv = I column by column (back substitution).
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t kk = n; kk-- > 0;) {
+      double s = (kk == c) ? 1.0 : 0.0;
+      for (std::size_t j = kk + 1; j < n; ++j) {
+        s -= qr_(kk, j) * inv(j, c);
+      }
+      inv(kk, c) = s / qr_(kk, kk);
+    }
+  }
+  return inv;
+}
+
+double QrDecomposition::diagonal_condition() const {
+  const std::size_t n = qr_.cols();
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double d = std::fabs(qr_(k, k));
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  if (lo == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return hi / lo;
+}
+
+}  // namespace pwx::la

@@ -1,0 +1,54 @@
+// Householder QR decomposition with column pivoting disabled by default.
+//
+// The regression stack solves least-squares problems through QR rather than
+// the normal equations: for a design matrix with condition number kappa, the
+// normal equations square kappa while QR preserves it — this matters for the
+// V²f-scaled event-rate columns of Equation 1, which span several orders of
+// magnitude.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pwx::la {
+
+/// Compact Householder QR of an m x n matrix (m >= n).
+class QrDecomposition {
+public:
+  /// Factor A = Q R. Throws pwx::InvalidArgument when m < n.
+  explicit QrDecomposition(const Matrix& a);
+
+  /// Minimum-residual solve of A x = b. Throws pwx::NumericalError when the
+  /// factor is rank deficient (|r_ii| below tolerance).
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Apply Qᵀ to a vector of length m.
+  std::vector<double> apply_qt(std::span<const double> b) const;
+
+  /// Upper-triangular factor R (n x n).
+  Matrix r() const;
+
+  /// Thin Q factor (m x n), formed explicitly on demand.
+  Matrix thin_q() const;
+
+  /// Inverse of R (n x n); used for (XᵀX)⁻¹ = R⁻¹R⁻ᵀ in covariance estimation.
+  Matrix r_inverse() const;
+
+  /// True if all diagonal entries of R exceed the rank tolerance.
+  bool full_rank() const { return full_rank_; }
+
+  /// max |r_ii| / min |r_ii| — a cheap condition estimate.
+  double diagonal_condition() const;
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+private:
+  Matrix qr_;                 // Householder vectors below diagonal, R on/above.
+  std::vector<double> tau_;   // Householder scalar factors.
+  bool full_rank_ = true;
+  double rank_tol_ = 0.0;
+};
+
+}  // namespace pwx::la

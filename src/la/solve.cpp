@@ -1,0 +1,31 @@
+#include "la/solve.hpp"
+
+#include "common/error.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+
+namespace pwx::la {
+
+LstsqResult lstsq(const Matrix& a, std::span<const double> b) {
+  PWX_REQUIRE(a.rows() == b.size(), "lstsq: A has ", a.rows(), " rows but b has ",
+              b.size(), " entries");
+  LstsqResult out;
+  const QrDecomposition qr(a);
+  if (qr.full_rank()) {
+    out.x = qr.solve(b);
+    out.full_rank = true;
+  } else {
+    const Matrix p = pinv(a);
+    out.x = p.multiply(b);
+    out.full_rank = false;
+  }
+  const std::vector<double> fitted = a.multiply(out.x);
+  out.residual.resize(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    out.residual[i] = b[i] - fitted[i];
+  }
+  out.residual_norm = norm2(out.residual);
+  return out;
+}
+
+}  // namespace pwx::la

@@ -1,0 +1,22 @@
+// Convenience least-squares drivers over the QR/SVD kernels.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pwx::la {
+
+/// Result of a least-squares solve.
+struct LstsqResult {
+  std::vector<double> x;        ///< solution (minimum-norm if rank deficient)
+  std::vector<double> residual; ///< b - A x
+  double residual_norm = 0.0;   ///< ||b - A x||_2
+  bool full_rank = true;        ///< whether A had full column rank
+};
+
+/// Solve min ||A x - b||_2. Uses QR when A has full column rank, falling back
+/// to the SVD pseudo-inverse for collinear designs.
+LstsqResult lstsq(const Matrix& a, std::span<const double> b);
+
+}  // namespace pwx::la

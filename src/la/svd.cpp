@@ -1,0 +1,132 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pwx::la {
+
+Svd svd(const Matrix& a, int max_sweeps) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  PWX_REQUIRE(m >= n && n > 0, "svd needs m >= n >= 1, got ", m, "x", n);
+
+  Matrix u = a;  // columns are rotated in place
+  Matrix v = Matrix::identity(n);
+
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double tol = 10.0 * static_cast<double>(m) * eps;
+
+  // One-sided Jacobi: orthogonalize column pairs until all are orthogonal.
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0;
+        double beta = 0.0;
+        double gamma = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          alpha += u(i, p) * u(i, p);
+          beta += u(i, q) * u(i, q);
+          gamma += u(i, p) * u(i, q);
+        }
+        if (std::fabs(gamma) <= tol * std::sqrt(alpha * beta) || gamma == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = std::copysign(1.0, zeta) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double up = u(i, p);
+          const double uq = u(i, q);
+          u(i, p) = c * up - s * uq;
+          u(i, q) = s * up + c * uq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) {
+      break;
+    }
+  }
+
+  // Extract singular values and normalize U columns.
+  std::vector<double> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      norm = std::hypot(norm, u(i, j));
+    }
+    sigma[j] = norm;
+    if (norm > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) {
+        u(i, j) /= norm;
+      }
+    }
+  }
+
+  // Sort descending by singular value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  Svd out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.sigma.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    out.sigma[j] = sigma[src];
+    for (std::size_t i = 0; i < m; ++i) {
+      out.u(i, j) = u(i, src);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out.v(i, j) = v(i, src);
+    }
+  }
+  return out;
+}
+
+Matrix pinv(const Matrix& a, double rcond) {
+  const bool transpose = a.rows() < a.cols();
+  const Matrix work = transpose ? a.transposed() : a;
+  const Svd f = svd(work);
+  const double cutoff = rcond * (f.sigma.empty() ? 0.0 : f.sigma.front());
+
+  // pinv = V diag(1/s) Uᵀ
+  const std::size_t n = work.cols();
+  Matrix vs = f.v;  // scale columns of V by 1/sigma (zero when below cutoff)
+  for (std::size_t j = 0; j < n; ++j) {
+    const double inv_s = (f.sigma[j] > cutoff && f.sigma[j] > 0.0) ? 1.0 / f.sigma[j] : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      vs(i, j) *= inv_s;
+    }
+  }
+  Matrix p = vs * f.u.transposed();
+  return transpose ? p.transposed() : p;
+}
+
+double condition_number(const Matrix& a) {
+  const Matrix work = a.rows() >= a.cols() ? a : a.transposed();
+  const Svd f = svd(work);
+  const double hi = f.sigma.front();
+  const double lo = f.sigma.back();
+  if (lo <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return hi / lo;
+}
+
+}  // namespace pwx::la

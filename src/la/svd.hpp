@@ -1,0 +1,32 @@
+// One-sided Jacobi singular value decomposition.
+//
+// Small and robust: the design matrices in pwx have at most a few dozen
+// columns, where Jacobi SVD converges quickly and delivers full accuracy.
+// Used for pseudo-inverse fallback on collinear designs and for condition
+// numbers reported in diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pwx::la {
+
+/// Thin SVD A = U diag(s) Vᵀ with singular values sorted descending.
+struct Svd {
+  Matrix u;                     ///< m x n, orthonormal columns
+  std::vector<double> sigma;    ///< n singular values, descending
+  Matrix v;                     ///< n x n orthogonal
+};
+
+/// Compute the thin SVD via one-sided Jacobi rotations on the columns of A.
+/// Requires m >= n.
+Svd svd(const Matrix& a, int max_sweeps = 60);
+
+/// Moore–Penrose pseudo-inverse with relative singular value cutoff `rcond`.
+Matrix pinv(const Matrix& a, double rcond = 1e-12);
+
+/// 2-norm condition number sigma_max / sigma_min (inf when singular).
+double condition_number(const Matrix& a);
+
+}  // namespace pwx::la

@@ -1,0 +1,144 @@
+#include "pmc/events.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace pwx::pmc {
+
+namespace {
+
+// One entry per Preset, in enum order. `derived` presets combine two native
+// events and therefore occupy two programmable slots; fixed-counter presets
+// (TOT_CYC, TOT_INS, REF_CYC) occupy none, matching Haswell's three fixed
+// architectural counters.
+constexpr std::array<EventInfo, kPresetCount> kCatalogue = {{
+    {Preset::L1_DCM, "L1_DCM", "Level 1 data cache misses", false, 1, true},
+    {Preset::L1_ICM, "L1_ICM", "Level 1 instruction cache misses", false, 1, true},
+    {Preset::L2_DCM, "L2_DCM", "Level 2 data cache misses", true, 2, true},
+    {Preset::L2_ICM, "L2_ICM", "Level 2 instruction cache misses", false, 1, true},
+    {Preset::L1_TCM, "L1_TCM", "Level 1 cache misses", true, 2, true},
+    {Preset::L2_TCM, "L2_TCM", "Level 2 cache misses", false, 1, true},
+    {Preset::L3_TCM, "L3_TCM", "Level 3 cache misses", false, 1, true},
+    {Preset::L1_LDM, "L1_LDM", "Level 1 load misses", false, 1, true},
+    {Preset::L1_STM, "L1_STM", "Level 1 store misses", false, 1, true},
+    {Preset::L2_LDM, "L2_LDM", "Level 2 load misses", false, 1, true},
+    {Preset::L2_STM, "L2_STM", "Level 2 store misses", false, 1, true},
+    {Preset::L3_LDM, "L3_LDM", "Level 3 load misses", false, 1, true},
+    {Preset::L2_DCA, "L2_DCA", "Level 2 data cache accesses", true, 2, true},
+    {Preset::L2_DCR, "L2_DCR", "Level 2 data cache reads", false, 1, true},
+    {Preset::L2_DCW, "L2_DCW", "Level 2 data cache writes", false, 1, true},
+    {Preset::L3_DCA, "L3_DCA", "Level 3 data cache accesses", true, 2, true},
+    {Preset::L3_DCR, "L3_DCR", "Level 3 data cache reads", false, 1, true},
+    {Preset::L3_DCW, "L3_DCW", "Level 3 data cache writes", false, 1, true},
+    {Preset::L2_ICA, "L2_ICA", "Level 2 instruction cache accesses", false, 1, true},
+    {Preset::L2_ICR, "L2_ICR", "Level 2 instruction cache reads", false, 1, true},
+    {Preset::L3_ICA, "L3_ICA", "Level 3 instruction cache accesses", false, 1, true},
+    {Preset::L3_ICR, "L3_ICR", "Level 3 instruction cache reads", false, 1, true},
+    {Preset::L2_TCA, "L2_TCA", "Level 2 total cache accesses", true, 2, true},
+    {Preset::L2_TCR, "L2_TCR", "Level 2 total cache reads", true, 2, true},
+    {Preset::L2_TCW, "L2_TCW", "Level 2 total cache writes", false, 1, true},
+    {Preset::L3_TCA, "L3_TCA", "Level 3 total cache accesses", true, 2, true},
+    {Preset::L3_TCR, "L3_TCR", "Level 3 total cache reads", true, 2, true},
+    {Preset::L3_TCW, "L3_TCW", "Level 3 total cache writes", false, 1, true},
+    {Preset::CA_SNP, "CA_SNP", "Requests for a snoop", false, 1, true},
+    {Preset::CA_SHR, "CA_SHR", "Requests for exclusive access to shared cache line",
+     false, 1, true},
+    {Preset::CA_CLN, "CA_CLN", "Requests for exclusive access to clean cache line",
+     false, 1, true},
+    {Preset::CA_INV, "CA_INV", "Requests for cache line invalidation", false, 1, true},
+    {Preset::CA_ITV, "CA_ITV", "Requests for cache line intervention", false, 1, false},
+    {Preset::TLB_DM, "TLB_DM", "Data translation lookaside buffer misses", false, 1,
+     true},
+    {Preset::TLB_IM, "TLB_IM", "Instruction translation lookaside buffer misses", false,
+     1, true},
+    {Preset::PRF_DM, "PRF_DM", "Data prefetch cache misses", false, 1, true},
+    {Preset::MEM_WCY, "MEM_WCY", "Cycles stalled waiting for memory writes", false, 1,
+     true},
+    {Preset::STL_ICY, "STL_ICY", "Cycles with no instruction issue", false, 1, true},
+    {Preset::FUL_ICY, "FUL_ICY", "Cycles with maximum instruction issue", false, 1,
+     true},
+    {Preset::STL_CCY, "STL_CCY", "Cycles with no instructions completed", false, 1,
+     true},
+    {Preset::FUL_CCY, "FUL_CCY", "Cycles with maximum instructions completed", false, 1,
+     true},
+    {Preset::RES_STL, "RES_STL", "Cycles stalled on any resource", false, 1, true},
+    {Preset::BR_UCN, "BR_UCN", "Unconditional branch instructions", false, 1, true},
+    {Preset::BR_CN, "BR_CN", "Conditional branch instructions", false, 1, true},
+    {Preset::BR_TKN, "BR_TKN", "Conditional branch instructions taken", false, 1, true},
+    {Preset::BR_NTK, "BR_NTK", "Conditional branch instructions not taken", true, 2,
+     true},
+    {Preset::BR_MSP, "BR_MSP", "Conditional branch instructions mispredicted", false, 1,
+     true},
+    {Preset::BR_PRC, "BR_PRC", "Conditional branch instructions correctly predicted",
+     true, 2, true},
+    {Preset::BR_INS, "BR_INS", "Branch instructions", false, 1, true},
+    {Preset::TOT_INS, "TOT_INS", "Instructions completed", false, 0, true},
+    {Preset::LD_INS, "LD_INS", "Load instructions", false, 1, true},
+    {Preset::SR_INS, "SR_INS", "Store instructions", false, 1, true},
+    {Preset::LST_INS, "LST_INS", "Load/store instructions completed", true, 2, true},
+    // FP presets are unreliable/unavailable on Haswell (the FP counter events
+    // were removed from the architecture); excluded from the 54.
+    {Preset::FP_INS, "FP_INS", "Floating point instructions", false, 1, false},
+    {Preset::FDV_INS, "FDV_INS", "Floating point divide instructions", false, 1, false},
+    {Preset::SP_OPS, "SP_OPS", "Single precision FP operations", true, 2, false},
+    {Preset::DP_OPS, "DP_OPS", "Double precision FP operations", true, 2, false},
+    {Preset::VEC_SP, "VEC_SP", "Single precision vector/SIMD instructions", false, 1,
+     false},
+    {Preset::VEC_DP, "VEC_DP", "Double precision vector/SIMD instructions", false, 1,
+     false},
+    {Preset::TOT_CYC, "TOT_CYC", "Total cycles", false, 0, true},
+    {Preset::REF_CYC, "REF_CYC", "Reference clock cycles", false, 0, true},
+    {Preset::STL_FPU, "STL_FPU", "Cycles the FP unit is stalled", false, 1, false},
+}};
+
+const std::unordered_map<std::string, Preset>& name_index() {
+  static const std::unordered_map<std::string, Preset> index = [] {
+    std::unordered_map<std::string, Preset> m;
+    for (const EventInfo& info : kCatalogue) {
+      m.emplace(std::string(info.name), info.preset);
+    }
+    return m;
+  }();
+  return index;
+}
+
+}  // namespace
+
+const EventInfo& event_info(Preset p) {
+  const auto idx = static_cast<std::size_t>(p);
+  PWX_REQUIRE(idx < kPresetCount, "invalid preset id ", idx);
+  return kCatalogue[idx];
+}
+
+std::span<const EventInfo> all_events() { return kCatalogue; }
+
+std::vector<Preset> haswell_ep_available_events() {
+  std::vector<Preset> out;
+  out.reserve(kPresetCount);
+  for (const EventInfo& info : kCatalogue) {
+    if (info.available_on_haswell_ep) {
+      out.push_back(info.preset);
+    }
+  }
+  return out;
+}
+
+std::string_view preset_name(Preset p) { return event_info(p).name; }
+
+std::optional<Preset> preset_from_name(std::string_view name) {
+  std::string_view lookup = name;
+  if (starts_with(lookup, "PAPI_")) {
+    lookup.remove_prefix(5);
+  }
+  const auto& index = name_index();
+  const auto it = index.find(std::string(lookup));
+  if (it == index.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace pwx::pmc

@@ -1,0 +1,75 @@
+// PAPI preset event catalogue.
+//
+// The paper uses the 54 standardized PAPI preset counters available on its
+// Haswell-EP platform as candidate model inputs ("we focus on the
+// standardized PAPI counters ... a more generic view of the processor
+// architecture"). This module reproduces that catalogue: preset identifiers,
+// human-readable descriptions, whether a preset is derived from multiple
+// native events, and how many programmable counter slots it occupies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pwx::pmc {
+
+/// PAPI preset identifiers (subset relevant to Haswell-EP, PAPI naming minus
+/// the PAPI_ prefix).
+enum class Preset : std::uint8_t {
+  // Cache misses / accesses
+  L1_DCM, L1_ICM, L2_DCM, L2_ICM, L1_TCM, L2_TCM, L3_TCM,
+  L1_LDM, L1_STM, L2_LDM, L2_STM, L3_LDM,
+  L2_DCA, L2_DCR, L2_DCW, L3_DCA, L3_DCR, L3_DCW,
+  L2_ICA, L2_ICR, L3_ICA, L3_ICR,
+  L2_TCA, L2_TCR, L2_TCW, L3_TCA, L3_TCR, L3_TCW,
+  // Coherence
+  CA_SNP, CA_SHR, CA_CLN, CA_INV, CA_ITV,
+  // TLB
+  TLB_DM, TLB_IM,
+  // Prefetch
+  PRF_DM,
+  // Stalls / issue
+  MEM_WCY, STL_ICY, FUL_ICY, STL_CCY, FUL_CCY, RES_STL,
+  // Branches
+  BR_UCN, BR_CN, BR_TKN, BR_NTK, BR_MSP, BR_PRC, BR_INS,
+  // Instruction mix
+  TOT_INS, LD_INS, SR_INS, LST_INS,
+  FP_INS, FDV_INS, SP_OPS, DP_OPS, VEC_SP, VEC_DP,
+  // Cycles
+  TOT_CYC, REF_CYC, STL_FPU,
+  kCount,
+};
+
+inline constexpr std::size_t kPresetCount = static_cast<std::size_t>(Preset::kCount);
+
+/// Static metadata for one preset.
+struct EventInfo {
+  Preset preset;
+  std::string_view name;         ///< e.g. "PRF_DM" (PAPI_ prefix omitted)
+  std::string_view description;  ///< e.g. "Data prefetch cache misses"
+  bool derived;                  ///< computed from more than one native event
+  int programmable_slots;        ///< general-purpose PMC slots needed (0 = fixed counter)
+  bool available_on_haswell_ep;  ///< availability on the paper's platform
+};
+
+/// Metadata for a preset.
+const EventInfo& event_info(Preset p);
+
+/// All presets in catalogue order.
+std::span<const EventInfo> all_events();
+
+/// The presets available on the reference Haswell-EP platform — the paper's
+/// `allEvents` input to Algorithm 1 (54 entries).
+std::vector<Preset> haswell_ep_available_events();
+
+/// Preset name ("PRF_DM"); accepts and strips a "PAPI_" prefix in lookup.
+std::string_view preset_name(Preset p);
+
+/// Reverse lookup; returns nullopt for unknown names.
+std::optional<Preset> preset_from_name(std::string_view name);
+
+}  // namespace pwx::pmc

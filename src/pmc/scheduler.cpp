@@ -1,0 +1,81 @@
+#include "pmc/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pwx::pmc {
+
+std::vector<EventGroup> schedule_events(const std::vector<Preset>& requested,
+                                        const CounterBudget& budget) {
+  PWX_REQUIRE(budget.programmable_slots > 0, "budget needs at least one slot");
+
+  // Deduplicate while preserving first-seen order.
+  std::vector<Preset> unique;
+  for (Preset p : requested) {
+    if (std::find(unique.begin(), unique.end(), p) == unique.end()) {
+      unique.push_back(p);
+    }
+  }
+
+  // Without fixed counters, fixed-counter presets consume a general slot.
+  const auto slot_cost = [&](Preset p) {
+    const int slots = event_info(p).programmable_slots;
+    return (slots == 0 && !budget.has_fixed_counters) ? 1 : slots;
+  };
+
+  std::vector<Preset> fixed;
+  std::vector<Preset> programmable;
+  for (Preset p : unique) {
+    if (slot_cost(p) == 0) {
+      fixed.push_back(p);
+    } else {
+      PWX_REQUIRE(slot_cost(p) <= budget.programmable_slots, "preset ",
+                  std::string(event_info(p).name), " needs ", slot_cost(p),
+                  " slots but the budget is ", budget.programmable_slots);
+      programmable.push_back(p);
+    }
+  }
+
+  // First-fit decreasing on slot cost; stable for equal costs to keep the
+  // grouping deterministic.
+  std::stable_sort(programmable.begin(), programmable.end(), [&](Preset a, Preset b) {
+    return slot_cost(a) > slot_cost(b);
+  });
+
+  std::vector<EventGroup> groups;
+  for (Preset p : programmable) {
+    const int cost = slot_cost(p);
+    EventGroup* target = nullptr;
+    for (EventGroup& g : groups) {
+      if (g.slots_used + cost <= budget.programmable_slots) {
+        target = &g;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      groups.emplace_back();
+      target = &groups.back();
+    }
+    target->events.push_back(p);
+    target->slots_used += cost;
+  }
+
+  if (groups.empty() && !fixed.empty()) {
+    groups.emplace_back();
+  }
+  if (!groups.empty()) {
+    // Fixed counters ride along in the first run.
+    auto& first = groups.front().events;
+    first.insert(first.begin(), fixed.begin(), fixed.end());
+  }
+  return groups;
+}
+
+std::size_t runs_required(const std::vector<Preset>& requested,
+                          const CounterBudget& budget) {
+  return schedule_events(requested, budget).size();
+}
+
+}  // namespace pwx::pmc

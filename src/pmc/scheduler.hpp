@@ -1,0 +1,41 @@
+// Event-set scheduling under hardware counter constraints.
+//
+// Haswell cores expose 4 general-purpose programmable counters (8 with
+// hyper-threading off per thread, but PAPI conservatively schedules 4) plus
+// 3 fixed counters (TOT_INS, TOT_CYC, REF_CYC). Recording all 54 presets for
+// one workload therefore requires *multiple runs* — the paper: "Multiple runs
+// of the same application are required due to the hardware limitation on
+// simultaneous recording of multiple PAPI counters." This module computes the
+// minimal grouping of requested presets into per-run event sets.
+#pragma once
+
+#include <vector>
+
+#include "pmc/events.hpp"
+
+namespace pwx::pmc {
+
+/// Capacity of one hardware run.
+struct CounterBudget {
+  int programmable_slots = 4;  ///< general-purpose PMCs usable per run
+  bool has_fixed_counters = true;  ///< TOT_INS/TOT_CYC/REF_CYC always-on
+};
+
+/// One run's worth of simultaneously recordable presets.
+struct EventGroup {
+  std::vector<Preset> events;
+  int slots_used = 0;
+};
+
+/// Pack `requested` presets into as few runs as possible (first-fit
+/// decreasing on slot cost). Fixed-counter presets are added to the first
+/// group (they cost no programmable slots and are available in every run).
+/// Throws pwx::InvalidArgument if any single preset exceeds the budget.
+std::vector<EventGroup> schedule_events(const std::vector<Preset>& requested,
+                                        const CounterBudget& budget = {});
+
+/// Number of runs needed to record all requested presets.
+std::size_t runs_required(const std::vector<Preset>& requested,
+                          const CounterBudget& budget = {});
+
+}  // namespace pwx::pmc

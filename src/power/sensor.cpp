@@ -1,0 +1,42 @@
+#include "power/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pwx::power {
+
+PowerSensor::PowerSensor(const SensorSpec& spec, std::uint64_t seed) : spec_(spec) {
+  PWX_REQUIRE(spec_.sample_rate_hz > 0.0, "sensor needs a positive sample rate");
+  Rng rng(seed);
+  gain_ = 1.0 + rng.normal(0.0, spec_.gain_error_sigma);
+  offset_ = rng.normal(0.0, spec_.offset_error_sigma_watts);
+}
+
+std::vector<double> PowerSensor::sample(double true_watts, double duration_s,
+                                        Rng& rng) const {
+  PWX_REQUIRE(duration_s > 0.0, "sample needs a positive duration");
+  const std::size_t n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(duration_s * spec_.sample_rate_hz));
+  std::vector<double> samples(n);
+  for (double& s : samples) {
+    const double noisy = true_watts * (1.0 + rng.normal(0.0, spec_.noise_relative)) +
+                         rng.normal(0.0, spec_.noise_floor_watts);
+    s = gain_ * noisy + offset_;
+  }
+  return samples;
+}
+
+double PowerSensor::average(double true_watts, double duration_s, Rng& rng) const {
+  // Averaging n iid samples shrinks the white-noise sigma by sqrt(n); model
+  // that directly instead of materializing thousands of samples.
+  const double n = std::max(1.0, duration_s * spec_.sample_rate_hz);
+  const double additive_sigma = spec_.noise_floor_watts / std::sqrt(n);
+  const double relative_sigma = spec_.noise_relative / std::sqrt(n);
+  const double noisy = true_watts * (1.0 + rng.normal(0.0, relative_sigma)) +
+                       rng.normal(0.0, additive_sigma);
+  return gain_ * noisy + offset_;
+}
+
+}  // namespace pwx::power

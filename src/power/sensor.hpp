@@ -1,0 +1,49 @@
+// Power-measurement instrumentation model.
+//
+// The paper's testbed instruments the 12 V inputs of each socket with
+// calibrated high-resolution sensors, sampled on a separate system [1]. The
+// model reproduces the relevant error sources of such an instrument chain:
+// per-channel gain and offset calibration residuals (fixed per sensor),
+// white noise per sample, and finite sample rate. The acquisition layer
+// averages samples over a phase, exactly like the paper's post-processing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pwx::power {
+
+/// Configuration of one measurement channel.
+struct SensorSpec {
+  double sample_rate_hz = 1000.0;   ///< high-resolution channel
+  double noise_floor_watts = 0.25;  ///< additive white noise sigma per sample
+  double noise_relative = 0.004;    ///< multiplicative noise sigma per sample
+  double gain_error_sigma = 0.006;  ///< calibration residual (fixed per channel)
+  double offset_error_sigma_watts = 0.35;
+};
+
+/// One sampled measurement channel (one socket's 12 V input).
+class PowerSensor {
+public:
+  /// Draws the fixed per-channel gain/offset residuals from `seed`.
+  PowerSensor(const SensorSpec& spec, std::uint64_t seed);
+
+  /// Sample a constant true power for `duration_s`; returns the samples.
+  std::vector<double> sample(double true_watts, double duration_s, Rng& rng) const;
+
+  /// Time-averaged reading over an interval (what the phase profile stores).
+  double average(double true_watts, double duration_s, Rng& rng) const;
+
+  double gain() const { return gain_; }
+  double offset_watts() const { return offset_; }
+  const SensorSpec& spec() const { return spec_; }
+
+private:
+  SensorSpec spec_;
+  double gain_ = 1.0;
+  double offset_ = 0.0;
+};
+
+}  // namespace pwx::power

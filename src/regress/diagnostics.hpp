@@ -1,0 +1,33 @@
+// Regression diagnostics: heteroscedasticity tests.
+//
+// The paper motivates HC3 standard errors by the heteroscedasticity of power
+// residuals (absolute error grows with power). The Breusch–Pagan and White
+// tests quantify that: both regress squared residuals on (functions of) the
+// predictors and compare n·R² against a chi-square distribution.
+#pragma once
+
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace pwx::regress {
+
+/// Result of an LM-type heteroscedasticity test.
+struct HeteroscedasticityTest {
+  double lm_statistic = 0.0;  ///< n * R² of the auxiliary regression
+  double p_value = 1.0;       ///< chi-square upper tail
+  double df = 0.0;            ///< auxiliary regressor count
+};
+
+/// Breusch–Pagan (Koenker studentized variant): aux regression of squared
+/// residuals on the original predictors.
+HeteroscedasticityTest breusch_pagan(const la::Matrix& x,
+                                     std::span<const double> residuals);
+
+/// Goldfeld–Quandt style ratio: variance of residuals in the top third of
+/// fitted values over the bottom third. > 1 indicates error growing with the
+/// response — the pattern the paper reports in Figure 5.
+double variance_ratio_by_fitted(std::span<const double> fitted,
+                                std::span<const double> residuals);
+
+}  // namespace pwx::regress

@@ -1,0 +1,182 @@
+#include "regress/lasso.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/standardize.hpp"
+
+namespace pwx::regress {
+
+namespace {
+
+double soft_threshold(double z, double gamma) {
+  if (z > gamma) {
+    return z - gamma;
+  }
+  if (z < -gamma) {
+    return z + gamma;
+  }
+  return 0.0;
+}
+
+struct Prepared {
+  stats::ColumnScaler scaler;
+  la::Matrix z;
+  std::vector<double> yc;
+  double y_mean = 0.0;
+  std::vector<double> col_sq_norm;  // Σ_i z_ij² (≈ n-1 after standardization)
+};
+
+Prepared prepare(const la::Matrix& x, std::span<const double> y) {
+  PWX_REQUIRE(x.rows() == y.size(), "lasso: X has ", x.rows(), " rows but y has ",
+              y.size());
+  PWX_REQUIRE(x.rows() >= 3 && x.cols() >= 1, "lasso needs n >= 3, k >= 1");
+  Prepared p;
+  p.scaler = stats::ColumnScaler::fit(x);
+  p.z = p.scaler.transform(x);
+  p.y_mean = stats::mean(y);
+  p.yc.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    p.yc[i] = y[i] - p.y_mean;
+  }
+  p.col_sq_norm.assign(x.cols(), 0.0);
+  for (std::size_t i = 0; i < p.z.rows(); ++i) {
+    for (std::size_t j = 0; j < p.z.cols(); ++j) {
+      p.col_sq_norm[j] += p.z(i, j) * p.z(i, j);
+    }
+  }
+  return p;
+}
+
+LassoResult descend(const Prepared& p, const la::Matrix& x, std::span<const double> y,
+                    double lambda, double tol, std::size_t max_sweeps,
+                    std::vector<double>& warm) {
+  const std::size_t n = p.z.rows();
+  const std::size_t k = p.z.cols();
+  const double nf = static_cast<double>(n);
+
+  std::vector<double>& b = warm;  // standardized coefficients, updated in place
+  // Residual for the current coefficients.
+  std::vector<double> r = p.yc;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (b[j] == 0.0) {
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i] -= b[j] * p.z(i, j);
+    }
+  }
+
+  std::size_t sweep = 0;
+  for (; sweep < max_sweeps; ++sweep) {
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      // Partial residual correlation: z_jᵀ r + ||z_j||² b_j.
+      double rho = p.col_sq_norm[j] * b[j];
+      for (std::size_t i = 0; i < n; ++i) {
+        rho += p.z(i, j) * r[i];
+      }
+      const double b_new =
+          p.col_sq_norm[j] > 0.0
+              ? soft_threshold(rho / nf, lambda) / (p.col_sq_norm[j] / nf)
+              : 0.0;
+      const double delta = b_new - b[j];
+      if (delta != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          r[i] -= delta * p.z(i, j);
+        }
+        b[j] = b_new;
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    if (max_delta < tol) {
+      ++sweep;
+      break;
+    }
+  }
+
+  LassoResult out;
+  out.lambda = lambda;
+  out.iterations = sweep;
+  const auto [beta, shift] = p.scaler.unscale_coefficients(b);
+  out.beta.resize(k + 1);
+  out.beta[0] = p.y_mean + shift;
+  for (std::size_t j = 0; j < k; ++j) {
+    out.beta[j + 1] = beta[j];
+    out.nonzero += (b[j] != 0.0);
+  }
+  const std::vector<double> fitted = out.predict(x);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ss_res += (y[i] - fitted[i]) * (y[i] - fitted[i]);
+    ss_tot += p.yc[i] * p.yc[i];
+  }
+  out.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> LassoResult::predict(const la::Matrix& x) const {
+  PWX_REQUIRE(x.cols() + 1 == beta.size(), "lasso predict: expected ",
+              beta.size() - 1, " columns, got ", x.cols());
+  std::vector<double> out(x.rows(), beta[0]);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      out[i] += beta[j + 1] * x(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> LassoResult::active_set() const {
+  std::vector<std::size_t> active;
+  for (std::size_t j = 1; j < beta.size(); ++j) {
+    if (beta[j] != 0.0) {
+      active.push_back(j - 1);
+    }
+  }
+  return active;
+}
+
+double lasso_lambda_max(const la::Matrix& x, std::span<const double> y) {
+  const Prepared p = prepare(x, y);
+  double lambda_max = 0.0;
+  for (std::size_t j = 0; j < p.z.cols(); ++j) {
+    double rho = 0.0;
+    for (std::size_t i = 0; i < p.z.rows(); ++i) {
+      rho += p.z(i, j) * p.yc[i];
+    }
+    lambda_max = std::max(lambda_max, std::fabs(rho) / static_cast<double>(p.z.rows()));
+  }
+  return lambda_max;
+}
+
+LassoResult fit_lasso(const la::Matrix& x, std::span<const double> y, double lambda,
+                      double tol, std::size_t max_sweeps) {
+  PWX_REQUIRE(lambda >= 0.0, "lasso penalty must be non-negative");
+  const Prepared p = prepare(x, y);
+  std::vector<double> warm(x.cols(), 0.0);
+  return descend(p, x, y, lambda, tol, max_sweeps, warm);
+}
+
+std::vector<LassoResult> lasso_path(const la::Matrix& x, std::span<const double> y,
+                                    std::size_t count, double ratio) {
+  PWX_REQUIRE(count >= 2 && ratio > 0.0 && ratio < 1.0, "bad lasso path parameters");
+  const Prepared p = prepare(x, y);
+  const double lambda_max = lasso_lambda_max(x, y);
+  std::vector<LassoResult> path;
+  path.reserve(count);
+  std::vector<double> warm(x.cols(), 0.0);
+  for (std::size_t s = 0; s < count; ++s) {
+    const double t = static_cast<double>(s) / static_cast<double>(count - 1);
+    const double lambda = lambda_max * std::pow(ratio, t);
+    path.push_back(descend(p, x, y, lambda, 1e-8, 10000, warm));
+  }
+  return path;
+}
+
+}  // namespace pwx::regress

@@ -1,0 +1,48 @@
+// LASSO (L1-regularized) regression via cyclic coordinate descent.
+//
+// An alternative event-selection mechanism for the paper's future-work
+// question ("different statistical algorithms ... for selecting PMC
+// events"): the L1 penalty zeroes whole coefficients, so the set of
+// non-zero coefficients along the regularization path *is* a counter
+// selection — one that handles correlated candidates gracefully where greedy
+// forward selection faces the CA_SNP dilemma.
+//
+// Standard formulation: predictors standardized, response centered, penalty
+// not applied to the intercept; minimizes
+//   (1/2n) ||y - Xb||² + λ ||b||₁.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pwx::regress {
+
+/// Result of one LASSO fit.
+struct LassoResult {
+  std::vector<double> beta;       ///< coefficients (intercept first), original scale
+  double lambda = 0.0;
+  double r_squared = 0.0;
+  std::size_t nonzero = 0;        ///< non-zero coefficients excluding the intercept
+  std::size_t iterations = 0;     ///< coordinate-descent sweeps used
+
+  std::vector<double> predict(const la::Matrix& x) const;
+  /// Indices of the active (non-zero) predictors.
+  std::vector<std::size_t> active_set() const;
+};
+
+/// Fit with a fixed penalty. `tol` is the max coefficient change (in
+/// standardized units) that terminates the sweeps.
+LassoResult fit_lasso(const la::Matrix& x, std::span<const double> y, double lambda,
+                      double tol = 1e-8, std::size_t max_sweeps = 10000);
+
+/// Smallest penalty that zeroes every coefficient (path start).
+double lasso_lambda_max(const la::Matrix& x, std::span<const double> y);
+
+/// Fit a decreasing log-spaced path of `count` penalties from lambda_max
+/// down to `ratio * lambda_max` with warm starts; returns the fits in path
+/// order. Useful for picking a target sparsity ("give me ~6 counters").
+std::vector<LassoResult> lasso_path(const la::Matrix& x, std::span<const double> y,
+                                    std::size_t count = 40, double ratio = 1e-3);
+
+}  // namespace pwx::regress

@@ -1,0 +1,132 @@
+#include "regress/ridge.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/cholesky.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/standardize.hpp"
+
+namespace pwx::regress {
+
+namespace {
+
+/// Shared machinery: fit on standardized predictors and centered response.
+struct Prepared {
+  stats::ColumnScaler scaler;
+  la::Matrix z;              // standardized predictors
+  std::vector<double> yc;    // centered response
+  double y_mean = 0.0;
+};
+
+Prepared prepare(const la::Matrix& x, std::span<const double> y) {
+  PWX_REQUIRE(x.rows() == y.size(), "ridge: X has ", x.rows(), " rows but y has ",
+              y.size());
+  PWX_REQUIRE(x.rows() > x.cols() + 1, "ridge needs n > k + 1");
+  Prepared p;
+  p.scaler = stats::ColumnScaler::fit(x);
+  p.z = p.scaler.transform(x);
+  p.y_mean = stats::mean(y);
+  p.yc.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    p.yc[i] = y[i] - p.y_mean;
+  }
+  return p;
+}
+
+RidgeResult solve_for_lambda(const Prepared& p, const la::Matrix& x,
+                             std::span<const double> y, double lambda) {
+  const std::size_t n = p.z.rows();
+  const std::size_t k = p.z.cols();
+
+  // (ZᵀZ + λ n I) b = Zᵀ yc — λ scaled by n so its meaning is per-sample.
+  la::Matrix gram = p.z.gram();
+  for (std::size_t j = 0; j < k; ++j) {
+    gram(j, j) += lambda * static_cast<double>(n);
+  }
+  const la::CholeskyDecomposition chol(gram);
+  const std::vector<double> zty = p.z.multiply_transposed(p.yc);
+  const std::vector<double> b_scaled = chol.solve(zty);
+
+  RidgeResult out;
+  out.lambda = lambda;
+  const auto [beta, shift] = p.scaler.unscale_coefficients(b_scaled);
+  out.beta.resize(k + 1);
+  out.beta[0] = p.y_mean + shift;
+  for (std::size_t j = 0; j < k; ++j) {
+    out.beta[j + 1] = beta[j];
+  }
+
+  out.fitted = out.predict(x);
+  out.residuals.resize(n);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.residuals[i] = y[i] - out.fitted[i];
+    ss_res += out.residuals[i] * out.residuals[i];
+    ss_tot += p.yc[i] * p.yc[i];
+  }
+  out.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+
+  // Effective dof: 1 (intercept) + Σ_j d_j²/(d_j² + λn) via tr(Z G⁻¹ Zᵀ).
+  const la::Matrix ginv = chol.inverse();
+  double trace = 1.0;
+  // tr(Z G⁻¹ Zᵀ) = Σ_ij (Z G⁻¹)_ij Z_ij.
+  const la::Matrix zg = p.z * ginv;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      trace += zg(i, j) * p.z(i, j);
+    }
+  }
+  out.effective_dof = trace;
+
+  const double denom = 1.0 - trace / static_cast<double>(n);
+  out.gcv = denom > 0.0
+                ? (ss_res / static_cast<double>(n)) / (denom * denom)
+                : std::numeric_limits<double>::infinity();
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> RidgeResult::predict(const la::Matrix& x) const {
+  PWX_REQUIRE(x.cols() + 1 == beta.size(), "ridge predict: expected ",
+              beta.size() - 1, " columns, got ", x.cols());
+  std::vector<double> out(x.rows(), beta[0]);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      out[i] += beta[j + 1] * x(i, j);
+    }
+  }
+  return out;
+}
+
+RidgeResult fit_ridge(const la::Matrix& x, std::span<const double> y, double lambda) {
+  PWX_REQUIRE(lambda >= 0.0, "ridge penalty must be non-negative");
+  const Prepared p = prepare(x, y);
+  return solve_for_lambda(p, x, y, lambda);
+}
+
+RidgeResult fit_ridge_gcv(const la::Matrix& x, std::span<const double> y,
+                          const std::vector<double>& lambdas) {
+  std::vector<double> grid = lambdas;
+  if (grid.empty()) {
+    for (double l = 1e-4; l <= 1e2 + 1e-9; l *= std::sqrt(10.0)) {
+      grid.push_back(l);
+    }
+  }
+  const Prepared p = prepare(x, y);
+  RidgeResult best;
+  bool first = true;
+  for (double lambda : grid) {
+    PWX_REQUIRE(lambda >= 0.0, "ridge penalty must be non-negative");
+    RidgeResult candidate = solve_for_lambda(p, x, y, lambda);
+    if (first || candidate.gcv < best.gcv) {
+      best = std::move(candidate);
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace pwx::regress

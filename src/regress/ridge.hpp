@@ -1,0 +1,45 @@
+// Ridge (L2-regularized) regression.
+//
+// The paper's CA_SNP dilemma — an informative event that cannot be selected
+// because it is collinear with the chosen set and no transformation exists —
+// is precisely the failure mode ridge regression addresses: shrinkage keeps
+// the coefficients of correlated predictors finite and stable at the cost of
+// a small bias. The reproduction offers it as an extension (paper Section VI
+// future work: "different statistical algorithms"); `ablation_ridge`
+// evaluates it on the full 54-counter set.
+//
+// Predictors are standardized internally (the penalty is not applied to the
+// intercept), matching the conventional formulation; coefficients are
+// reported in the original scale.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pwx::regress {
+
+/// Result of a ridge fit.
+struct RidgeResult {
+  std::vector<double> beta;   ///< coefficients (intercept first)
+  double lambda = 0.0;        ///< the penalty actually used
+  double r_squared = 0.0;     ///< in-sample, centered
+  std::vector<double> fitted;
+  std::vector<double> residuals;
+  double effective_dof = 0.0; ///< tr(H) of the ridge hat matrix (incl. intercept)
+  double gcv = 0.0;           ///< generalized cross-validation score
+
+  /// Predict for a design with the fit's column layout (no intercept col).
+  std::vector<double> predict(const la::Matrix& x) const;
+};
+
+/// Fit y ~ x with penalty `lambda` >= 0 on the standardized coefficients.
+/// lambda == 0 reproduces OLS (up to conditioning).
+RidgeResult fit_ridge(const la::Matrix& x, std::span<const double> y, double lambda);
+
+/// Fit a grid of penalties and return the fit minimizing the GCV score
+/// (Golub–Heath–Wahba). `lambdas` defaults to a log grid 1e-4..1e2.
+RidgeResult fit_ridge_gcv(const la::Matrix& x, std::span<const double> y,
+                          const std::vector<double>& lambdas = {});
+
+}  // namespace pwx::regress

@@ -1,0 +1,58 @@
+#include "regress/vif.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "regress/ols.hpp"
+
+namespace pwx::regress {
+
+double vif_for_column(const la::Matrix& x, std::size_t j) {
+  PWX_REQUIRE(j < x.cols(), "vif: column ", j, " out of range");
+  PWX_REQUIRE(x.cols() >= 2, "vif needs at least two predictors");
+
+  // Build the auxiliary design: all columns except j.
+  std::vector<std::size_t> others;
+  others.reserve(x.cols() - 1);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    if (c != j) {
+      others.push_back(c);
+    }
+  }
+  const la::Matrix design = x.select_columns(others);
+  const std::vector<double> target = x.col(j);
+
+  OlsOptions opt;
+  opt.add_intercept = true;
+  opt.cov_type = CovarianceType::NonRobust;
+  try {
+    const OlsResult aux = fit_ols(design, target, opt);
+    if (aux.r_squared >= 1.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return 1.0 / (1.0 - aux.r_squared);
+  } catch (const NumericalError&) {
+    // The other predictors are themselves collinear: predictor j is trivially
+    // inflated beyond measurement.
+    return std::numeric_limits<double>::infinity();
+  }
+}
+
+std::vector<double> vif_all(const la::Matrix& x) {
+  std::vector<double> out(x.cols());
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    out[j] = vif_for_column(x, j);
+  }
+  return out;
+}
+
+double mean_vif(const la::Matrix& x) {
+  const std::vector<double> v = vif_all(x);
+  double sum = 0.0;
+  for (double value : v) {
+    sum += value;
+  }
+  return sum / static_cast<double>(v.size());
+}
+
+}  // namespace pwx::regress

@@ -1,0 +1,26 @@
+// Variance Inflation Factor (paper Section III-B).
+//
+// VIF_j = 1 / (1 - R²_j) where R²_j is from regressing predictor j on the
+// remaining predictors (with intercept). The paper uses *mean* VIF over the
+// selected events as the stability criterion; values near 1 mean independent
+// predictors, values above ~10 indicate multicollinearity problems.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pwx::regress {
+
+/// VIF of column j of x against the other columns.
+/// Returns +inf when predictor j is perfectly explained by the others.
+double vif_for_column(const la::Matrix& x, std::size_t j);
+
+/// VIF for every column.
+std::vector<double> vif_all(const la::Matrix& x);
+
+/// Mean VIF over all columns (the paper's stability metric). Requires at
+/// least two columns; a single predictor has no VIF ("n/a" in Table I).
+double mean_vif(const la::Matrix& x);
+
+}  // namespace pwx::regress

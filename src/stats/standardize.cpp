@@ -1,0 +1,59 @@
+#include "stats/standardize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pwx::stats {
+
+ColumnScaler ColumnScaler::fit(const la::Matrix& x) {
+  PWX_REQUIRE(x.rows() >= 2, "ColumnScaler::fit needs >= 2 rows");
+  ColumnScaler s;
+  s.mean.assign(x.cols(), 0.0);
+  s.scale.assign(x.cols(), 1.0);
+  const double n = static_cast<double>(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      s.mean[c] += x(r, c);
+    }
+  }
+  for (double& m : s.mean) {
+    m /= n;
+  }
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double ss = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const double d = x(r, c) - s.mean[c];
+      ss += d * d;
+    }
+    const double sd = std::sqrt(ss / (n - 1.0));
+    s.scale[c] = sd > 0.0 ? sd : 1.0;
+  }
+  return s;
+}
+
+la::Matrix ColumnScaler::transform(const la::Matrix& x) const {
+  PWX_REQUIRE(x.cols() == mean.size(), "ColumnScaler: fitted for ", mean.size(),
+              " columns, got ", x.cols());
+  la::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - mean[c]) / scale[c];
+    }
+  }
+  return out;
+}
+
+std::pair<std::vector<double>, double> ColumnScaler::unscale_coefficients(
+    std::span<const double> beta_scaled) const {
+  PWX_REQUIRE(beta_scaled.size() == mean.size(), "unscale: coefficient count mismatch");
+  std::vector<double> beta(beta_scaled.size());
+  double shift = 0.0;
+  for (std::size_t j = 0; j < beta.size(); ++j) {
+    beta[j] = beta_scaled[j] / scale[j];
+    shift -= beta_scaled[j] * mean[j] / scale[j];
+  }
+  return {beta, shift};
+}
+
+}  // namespace pwx::stats

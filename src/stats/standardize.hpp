@@ -1,0 +1,29 @@
+// Column standardization (z-scoring) for design matrices.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pwx::stats {
+
+/// Per-column affine transform parameters.
+struct ColumnScaler {
+  std::vector<double> mean;
+  std::vector<double> scale;  ///< standard deviation, 1.0 for constant columns
+
+  /// Fit means and scales from the columns of x.
+  static ColumnScaler fit(const la::Matrix& x);
+
+  /// Apply (x - mean) / scale column-wise.
+  la::Matrix transform(const la::Matrix& x) const;
+
+  /// Undo the transform on a coefficient vector fitted in scaled space,
+  /// returning coefficients for the original space plus the intercept shift.
+  /// beta_orig[j] = beta_scaled[j] / scale[j];
+  /// intercept_shift = -Σ beta_scaled[j] * mean[j] / scale[j].
+  std::pair<std::vector<double>, double> unscale_coefficients(
+      std::span<const double> beta_scaled) const;
+};
+
+}  // namespace pwx::stats

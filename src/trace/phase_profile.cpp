@@ -1,0 +1,178 @@
+#include "trace/phase_profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace pwx::trace {
+
+double PhaseProfile::rate(pmc::Preset preset) const {
+  const auto it = counter_rates.find(preset);
+  PWX_REQUIRE(it != counter_rates.end(), "phase profile for '", workload, "/", phase,
+              "' has no counter ", std::string(pmc::preset_name(preset)));
+  return it->second;
+}
+
+bool PhaseProfile::has(pmc::Preset preset) const {
+  return counter_rates.find(preset) != counter_rates.end();
+}
+
+double PhaseProfile::rate_per_cycle(pmc::Preset preset) const {
+  PWX_REQUIRE(frequency_ghz > 0.0, "phase profile lacks a frequency");
+  return rate(preset) / (frequency_ghz * 1e9);
+}
+
+namespace {
+
+/// Accumulator for one phase while scanning the event stream.
+struct PhaseAccumulator {
+  double elapsed_s = 0;
+  double first_start_s = -1.0;
+  double last_end_s = 0;
+  double power_time_product = 0;   ///< ∫ power dt (from async averages)
+  double power_time = 0;
+  double voltage_sum = 0;          ///< instantaneous samples, equally weighted
+  std::size_t voltage_samples = 0;
+  std::map<std::uint32_t, double> counter_totals;  ///< summed increments
+};
+
+}  // namespace
+
+std::vector<PhaseProfile> build_phase_profiles(const Trace& trace) {
+  // Classify metrics once.
+  const auto& metrics = trace.metrics();
+  std::vector<int> metric_kind(metrics.size());  // 0 power, 1 voltage, 2 counter
+  std::vector<pmc::Preset> metric_preset(metrics.size(), pmc::Preset::kCount);
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    switch (metrics[i].mode) {
+      case MetricMode::AsyncAverage: metric_kind[i] = 0; break;
+      case MetricMode::AsyncInstant: metric_kind[i] = 1; break;
+      case MetricMode::CounterIncrement: {
+        metric_kind[i] = 2;
+        const auto preset = pmc::preset_from_name(metrics[i].name);
+        PWX_REQUIRE(preset.has_value(), "counter metric '", metrics[i].name,
+                    "' is not a known PAPI preset");
+        metric_preset[i] = *preset;
+        break;
+      }
+    }
+  }
+
+  std::map<std::string, PhaseAccumulator> accumulators;
+  std::string open_region;
+  double region_start_s = 0;
+  double last_metric_s = 0;  // async metrics cover (previous event, this one]
+
+  for (const Event& event : trace.events()) {
+    if (const auto* enter = std::get_if<RegionEnter>(&event)) {
+      PWX_REQUIRE(open_region.empty(), "nested regions are not phase regions ('",
+                  enter->region, "' inside '", open_region, "')");
+      open_region = enter->region;
+      region_start_s = units::ns_to_s(enter->time_ns);
+      last_metric_s = region_start_s;
+      auto& acc = accumulators[open_region];
+      if (acc.first_start_s < 0.0) {
+        acc.first_start_s = region_start_s;
+      }
+    } else if (const auto* exit = std::get_if<RegionExit>(&event)) {
+      PWX_REQUIRE(exit->region == open_region, "region exit '", exit->region,
+                  "' does not match open region '", open_region, "'");
+      const double t = units::ns_to_s(exit->time_ns);
+      auto& acc = accumulators[open_region];
+      acc.elapsed_s += t - region_start_s;
+      acc.last_end_s = t;
+      open_region.clear();
+    } else {
+      const auto& metric = std::get<MetricEvent>(event);
+      PWX_REQUIRE(!open_region.empty(), "metric event outside any phase region");
+      auto& acc = accumulators[open_region];
+      const double t = units::ns_to_s(metric.time_ns);
+      switch (metric_kind[metric.metric]) {
+        case 0: {  // async average over the sampling interval
+          const double dt = t - last_metric_s;
+          if (dt > 0) {
+            acc.power_time_product += metric.value * dt;
+            acc.power_time += dt;
+          }
+          last_metric_s = t;
+          break;
+        }
+        case 1:
+          acc.voltage_sum += metric.value;
+          acc.voltage_samples += 1;
+          break;
+        case 2:
+          acc.counter_totals[metric.metric] += metric.value;
+          break;
+      }
+    }
+  }
+  PWX_REQUIRE(open_region.empty(), "trace ends inside region '", open_region, "'");
+
+  std::vector<PhaseProfile> profiles;
+  profiles.reserve(accumulators.size());
+  for (const auto& [phase, acc] : accumulators) {
+    PhaseProfile profile;
+    profile.workload = trace.attribute("workload");
+    profile.phase = phase;
+    profile.frequency_ghz = trace.attribute_as_double("frequency_ghz");
+    profile.threads = static_cast<std::size_t>(trace.attribute_as_double("threads"));
+    profile.start_s = acc.first_start_s;
+    profile.end_s = acc.last_end_s;
+    profile.elapsed_s = acc.elapsed_s;
+    PWX_REQUIRE(acc.elapsed_s > 0.0, "phase '", phase, "' has zero elapsed time");
+    profile.avg_power_watts =
+        acc.power_time > 0 ? acc.power_time_product / acc.power_time : 0.0;
+    profile.avg_voltage =
+        acc.voltage_samples > 0
+            ? acc.voltage_sum / static_cast<double>(acc.voltage_samples)
+            : 0.0;
+    for (const auto& [metric_index, total] : acc.counter_totals) {
+      profile.counter_rates[metric_preset[metric_index]] = total / acc.elapsed_s;
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+PhaseProfile merge_profiles(const std::vector<PhaseProfile>& profiles) {
+  PWX_REQUIRE(!profiles.empty(), "merge_profiles needs at least one profile");
+  PhaseProfile out = profiles.front();
+  if (profiles.size() == 1) {
+    return out;
+  }
+  double total_time = 0;
+  double power_acc = 0;
+  double voltage_acc = 0;
+  std::map<pmc::Preset, double> rate_acc;      // Σ rate * elapsed
+  std::map<pmc::Preset, double> rate_time;     // Σ elapsed per preset
+  for (const PhaseProfile& p : profiles) {
+    PWX_REQUIRE(p.workload == out.workload && p.phase == out.phase &&
+                    p.threads == out.threads &&
+                    p.frequency_ghz == out.frequency_ghz,
+                "merge_profiles: mismatching keys (", p.workload, "/", p.phase, " vs ",
+                out.workload, "/", out.phase, ")");
+    total_time += p.elapsed_s;
+    power_acc += p.avg_power_watts * p.elapsed_s;
+    voltage_acc += p.avg_voltage * p.elapsed_s;
+    for (const auto& [preset, rate] : p.counter_rates) {
+      rate_acc[preset] += rate * p.elapsed_s;
+      rate_time[preset] += p.elapsed_s;
+    }
+  }
+  out.elapsed_s = total_time;
+  out.avg_power_watts = power_acc / total_time;
+  out.avg_voltage = voltage_acc / total_time;
+  out.counter_rates.clear();
+  for (const auto& [preset, acc] : rate_acc) {
+    out.counter_rates[preset] = acc / rate_time[preset];
+  }
+  out.runs_merged = profiles.size();
+  out.start_s = profiles.front().start_s;
+  out.end_s = profiles.back().end_s;
+  return out;
+}
+
+}  // namespace pwx::trace

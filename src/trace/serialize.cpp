@@ -1,0 +1,221 @@
+#include "trace/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace pwx::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'T', 'F', '2', 'L', 'T', 'v', '1'};
+
+void put_u8(std::ostream& out, std::uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.write(buf, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+void put_f64(std::ostream& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint8_t get_u8(std::istream& in) {
+  char c = 0;
+  if (!in.get(c)) {
+    throw IoError("trace: unexpected end of stream");
+  }
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  char buf[4];
+  if (!in.read(buf, 4)) {
+    throw IoError("trace: unexpected end of stream");
+  }
+  std::uint32_t v = 0;
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  char buf[8];
+  if (!in.read(buf, 8)) {
+    throw IoError("trace: unexpected end of stream");
+  }
+  std::uint64_t v = 0;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+double get_f64(std::istream& in) {
+  char buf[8];
+  if (!in.read(buf, 8)) {
+    throw IoError("trace: unexpected end of stream");
+  }
+  double v = 0;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+std::string get_string(std::istream& in) {
+  const std::uint32_t len = get_u32(in);
+  if (len > (1u << 24)) {
+    throw IoError("trace: implausible string length " + std::to_string(len));
+  }
+  std::string s(len, '\0');
+  if (len > 0 && !in.read(s.data(), len)) {
+    throw IoError("trace: unexpected end of stream in string");
+  }
+  return s;
+}
+
+enum : std::uint8_t { kRegionEnter = 1, kRegionExit = 2, kMetric = 3 };
+
+}  // namespace
+
+void write_trace(const Trace& trace, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+
+  put_u32(out, static_cast<std::uint32_t>(trace.attributes().size()));
+  for (const auto& [key, value] : trace.attributes()) {
+    put_string(out, key);
+    put_string(out, value);
+  }
+
+  put_u32(out, static_cast<std::uint32_t>(trace.metrics().size()));
+  for (const MetricDefinition& metric : trace.metrics()) {
+    put_string(out, metric.name);
+    put_string(out, metric.unit);
+    put_u8(out, static_cast<std::uint8_t>(metric.mode));
+  }
+
+  put_u64(out, trace.events().size());
+  for (const Event& event : trace.events()) {
+    if (const auto* enter = std::get_if<RegionEnter>(&event)) {
+      put_u8(out, kRegionEnter);
+      put_u64(out, enter->time_ns);
+      put_string(out, enter->region);
+    } else if (const auto* exit = std::get_if<RegionExit>(&event)) {
+      put_u8(out, kRegionExit);
+      put_u64(out, exit->time_ns);
+      put_string(out, exit->region);
+    } else {
+      const auto& metric = std::get<MetricEvent>(event);
+      put_u8(out, kMetric);
+      put_u64(out, metric.time_ns);
+      put_u32(out, metric.metric);
+      put_f64(out, metric.value);
+    }
+  }
+  if (!out) {
+    throw IoError("trace: write failed");
+  }
+}
+
+void write_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError("trace: cannot open '" + path + "' for writing");
+  }
+  write_trace(trace, out);
+}
+
+Trace read_trace(std::istream& in) {
+  char magic[8];
+  if (!in.read(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    throw IoError("trace: bad magic (not an OTF2-lite file)");
+  }
+
+  Trace trace;
+  const std::uint32_t attr_count = get_u32(in);
+  if (attr_count > (1u << 20)) {
+    throw IoError("trace: implausible attribute count");
+  }
+  for (std::uint32_t i = 0; i < attr_count; ++i) {
+    std::string key = get_string(in);
+    std::string value = get_string(in);
+    trace.set_attribute(key, value);
+  }
+
+  const std::uint32_t metric_count = get_u32(in);
+  if (metric_count > (1u << 20)) {
+    throw IoError("trace: implausible metric count");
+  }
+  for (std::uint32_t i = 0; i < metric_count; ++i) {
+    MetricDefinition metric;
+    metric.name = get_string(in);
+    metric.unit = get_string(in);
+    const std::uint8_t mode = get_u8(in);
+    if (mode > static_cast<std::uint8_t>(MetricMode::CounterIncrement)) {
+      throw IoError("trace: invalid metric mode");
+    }
+    metric.mode = static_cast<MetricMode>(mode);
+    trace.define_metric(std::move(metric));
+  }
+
+  const std::uint64_t event_count = get_u64(in);
+  if (event_count > (1ull << 32)) {
+    throw IoError("trace: implausible event count");
+  }
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    const std::uint8_t kind = get_u8(in);
+    switch (kind) {
+      case kRegionEnter: {
+        RegionEnter e;
+        e.time_ns = get_u64(in);
+        e.region = get_string(in);
+        trace.append(std::move(e));
+        break;
+      }
+      case kRegionExit: {
+        RegionExit e;
+        e.time_ns = get_u64(in);
+        e.region = get_string(in);
+        trace.append(std::move(e));
+        break;
+      }
+      case kMetric: {
+        MetricEvent e;
+        e.time_ns = get_u64(in);
+        e.metric = get_u32(in);
+        e.value = get_f64(in);
+        trace.append(e);
+        break;
+      }
+      default:
+        throw IoError("trace: unknown event kind " + std::to_string(kind));
+    }
+  }
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("trace: cannot open '" + path + "' for reading");
+  }
+  return read_trace(in);
+}
+
+}  // namespace pwx::trace

@@ -1,0 +1,25 @@
+// Binary serialization of OTF2-lite traces.
+//
+// A compact little-endian format ("OTF2-lite v1"): magic, attribute table,
+// metric definitions, then the event stream. Mirrors OTF2's role of moving
+// traces between the acquisition machine and the analysis tooling; the
+// reader fully validates structure so corrupted files fail loudly instead of
+// producing silent garbage profiles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace pwx::trace {
+
+/// Serialize to a binary stream / file. Throws pwx::IoError on failure.
+void write_trace(const Trace& trace, std::ostream& out);
+void write_trace_file(const Trace& trace, const std::string& path);
+
+/// Deserialize; throws pwx::IoError on malformed input.
+Trace read_trace(std::istream& in);
+Trace read_trace_file(const std::string& path);
+
+}  // namespace pwx::trace

@@ -1,0 +1,69 @@
+#include "trace/trace.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace pwx::trace {
+
+std::uint32_t Trace::define_metric(MetricDefinition definition) {
+  PWX_REQUIRE(!definition.name.empty(), "metric needs a name");
+  PWX_REQUIRE(metric_by_name_.find(definition.name) == metric_by_name_.end(),
+              "duplicate metric '", definition.name, "'");
+  const auto index = static_cast<std::uint32_t>(metrics_.size());
+  metric_by_name_.emplace(definition.name, index);
+  metrics_.push_back(std::move(definition));
+  return index;
+}
+
+std::uint32_t Trace::metric_index(const std::string& name) const {
+  const auto it = metric_by_name_.find(name);
+  PWX_REQUIRE(it != metric_by_name_.end(), "unknown metric '", name, "'");
+  return it->second;
+}
+
+bool Trace::has_metric(const std::string& name) const {
+  return metric_by_name_.find(name) != metric_by_name_.end();
+}
+
+std::uint64_t Trace::event_time(const Event& event) {
+  return std::visit([](const auto& e) { return e.time_ns; }, event);
+}
+
+void Trace::append(Event event) {
+  const std::uint64_t t = event_time(event);
+  PWX_REQUIRE(t >= last_time_ns_, "events must be chronological: ", t, " after ",
+              last_time_ns_);
+  if (const auto* metric = std::get_if<MetricEvent>(&event)) {
+    PWX_REQUIRE(metric->metric < metrics_.size(), "metric index ", metric->metric,
+                " not defined");
+  }
+  last_time_ns_ = t;
+  events_.push_back(std::move(event));
+}
+
+void Trace::set_attribute(const std::string& key, const std::string& value) {
+  attributes_[key] = value;
+}
+
+void Trace::set_attribute(const std::string& key, double value) {
+  attributes_[key] = format_double(value, 9);
+}
+
+const std::string& Trace::attribute(const std::string& key) const {
+  const auto it = attributes_.find(key);
+  PWX_REQUIRE(it != attributes_.end(), "missing trace attribute '", key, "'");
+  return it->second;
+}
+
+double Trace::attribute_as_double(const std::string& key) const {
+  const std::string& text = attribute(key);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  PWX_REQUIRE(ec == std::errc{} && ptr == text.data() + text.size(),
+              "trace attribute '", key, "' is not numeric: '", text, "'");
+  return value;
+}
+
+}  // namespace pwx::trace

@@ -1,0 +1,91 @@
+// OTF2-lite application traces.
+//
+// The paper's acquisition writes Score-P traces in Open Trace Format 2: "a
+// stream of events chronologically ordered by the time of their occurrence,
+// and information about the state and configuration of the target system".
+// This module reproduces that structure at the fidelity the workflow needs:
+// region enter/exit events mark workload phases, metric events carry the
+// asynchronously sampled power/voltage/PMC values, and global attributes
+// record the run configuration (workload, f_clk, thread count).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pwx::trace {
+
+/// How a metric was recorded (mirrors the Score-P metric plugin modes).
+enum class MetricMode : std::uint8_t {
+  AsyncAverage,      ///< value is the average over the sampling interval (power)
+  AsyncInstant,      ///< value is an instantaneous sample (voltage)
+  CounterIncrement,  ///< value is an event-count increment since the last sample
+};
+
+/// Definition of one recorded metric.
+struct MetricDefinition {
+  std::string name;   ///< e.g. "power" or "PAPI_PRF_DM"
+  std::string unit;   ///< e.g. "W", "V", "events"
+  MetricMode mode = MetricMode::AsyncAverage;
+};
+
+/// A phase/region boundary.
+struct RegionEnter {
+  std::uint64_t time_ns = 0;
+  std::string region;
+};
+struct RegionExit {
+  std::uint64_t time_ns = 0;
+  std::string region;
+};
+
+/// One metric sample referencing a definition by index.
+struct MetricEvent {
+  std::uint64_t time_ns = 0;
+  std::uint32_t metric = 0;
+  double value = 0.0;
+};
+
+using Event = std::variant<RegionEnter, RegionExit, MetricEvent>;
+
+/// An in-memory OTF2-lite trace.
+class Trace {
+public:
+  /// Register a metric; returns its index. Names must be unique.
+  std::uint32_t define_metric(MetricDefinition definition);
+
+  /// Index of a metric by name; throws when missing.
+  std::uint32_t metric_index(const std::string& name) const;
+  bool has_metric(const std::string& name) const;
+
+  /// Append an event. Events must be appended in non-decreasing time order
+  /// (chronological stream); violations throw.
+  void append(Event event);
+
+  const std::vector<MetricDefinition>& metrics() const { return metrics_; }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Free-form trace attributes (workload name, frequency, threads, ...).
+  std::map<std::string, std::string>& attributes() { return attributes_; }
+  const std::map<std::string, std::string>& attributes() const { return attributes_; }
+
+  /// Attribute access with type conversion helpers.
+  void set_attribute(const std::string& key, const std::string& value);
+  void set_attribute(const std::string& key, double value);
+  const std::string& attribute(const std::string& key) const;
+  double attribute_as_double(const std::string& key) const;
+
+  /// Timestamp of an event (for ordering checks and range queries).
+  static std::uint64_t event_time(const Event& event);
+
+private:
+  std::vector<MetricDefinition> metrics_;
+  std::map<std::string, std::uint32_t> metric_by_name_;
+  std::vector<Event> events_;
+  std::map<std::string, std::string> attributes_;
+  std::uint64_t last_time_ns_ = 0;
+};
+
+}  // namespace pwx::trace

@@ -1,0 +1,920 @@
+#include "workloads/registry.hpp"
+
+#include "common/error.hpp"
+
+namespace pwx::workloads {
+
+namespace {
+
+// The characteristic values below are hand-tuned to plausible Haswell-EP
+// magnitudes: CPIs and miss rates follow published characterizations of the
+// respective kernels/applications, and the hidden AVX/uop/DRAM fields encode
+// the power behaviour that Haswell's PAPI presets cannot observe (FP/SIMD
+// counters are unavailable on that generation).
+
+Workload make(std::string name, Suite suite, std::vector<PhaseCharacter> phases,
+              double duration_s, bool thread_scalable) {
+  Workload w;
+  w.name = std::move(name);
+  w.suite = suite;
+  w.phases = std::move(phases);
+  w.nominal_duration_s = duration_s;
+  w.thread_scalable = thread_scalable;
+  validate(w);
+  return w;
+}
+
+PhaseCharacter base_phase(std::string name, double weight) {
+  PhaseCharacter p;
+  p.name = std::move(name);
+  p.weight = weight;
+  return p;
+}
+
+}  // namespace
+
+std::vector<Workload> roco2_suite() {
+  std::vector<Workload> suite;
+
+  {  // idle: cores in C-states; almost no activity, tiny OS housekeeping.
+    PhaseCharacter p = base_phase("idle", 1.0);
+    p.base_cpi = 1.6;
+    p.unhalted_frac = 0.02;
+    p.frac_load = 0.22;
+    p.frac_store = 0.08;
+    p.frac_branch_cn = 0.18;
+    p.frac_branch_ucn = 0.03;
+    p.branch_misp_rate = 0.02;
+    p.l1d_ld_mpki = 4.0;
+    p.l1d_st_mpki = 1.0;
+    p.l1i_mpki = 3.0;
+    p.l2_ld_mpki = 1.5;
+    p.l2_st_mpki = 0.4;
+    p.l2i_mpki = 0.8;
+    p.l3_ld_mpki = 0.5;
+    p.l3_wb_mpki = 0.2;
+    p.tlb_d_mpki = 0.4;
+    p.tlb_i_mpki = 0.3;
+    p.prefetch_mpki = 0.8;
+    p.full_issue_cpki = 20.0;
+    p.full_compl_cpki = 15.0;
+    p.stall_issue_base_cpki = 500.0;
+    p.stall_compl_base_cpki = 600.0;
+    p.res_stall_base_cpki = 300.0;
+    p.uops_per_inst = 1.15;
+    p.shared_pki = 0.02024;
+    p.clean_pki = 0.02420;
+    p.inv_pki = 0.00572;
+    p.snoop_pki_per_core = 0.00905;
+    p.exec_energy_scale = 1.00;
+    p.cache_contention = 0.10;
+    p.variability_cv = 0.02;
+    suite.push_back(make("idle", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  {  // busy_wait: tight spin loop with pause; branch dominated, no memory.
+    PhaseCharacter p = base_phase("spin", 1.0);
+    p.base_cpi = 1.05;
+    p.frac_load = 0.05;
+    p.frac_store = 0.0;
+    p.frac_branch_cn = 0.32;
+    p.frac_branch_ucn = 0.02;
+    p.branch_taken_rate = 0.97;
+    p.branch_misp_rate = 0.0004;
+    p.l1d_ld_mpki = 0.02;
+    p.l1d_st_mpki = 0.0;
+    p.l1i_mpki = 0.01;
+    p.l2_ld_mpki = 0.01;
+    p.l2_st_mpki = 0.0;
+    p.l2i_mpki = 0.005;
+    p.l3_ld_mpki = 0.004;
+    p.l3_wb_mpki = 0.002;
+    p.tlb_d_mpki = 0.001;
+    p.tlb_i_mpki = 0.0005;
+    p.prefetch_mpki = 0.01;
+    p.full_issue_cpki = 120.0;
+    p.full_compl_cpki = 90.0;
+    p.stall_issue_base_cpki = 250.0;
+    p.stall_compl_base_cpki = 300.0;
+    p.res_stall_base_cpki = 120.0;
+    p.uops_per_inst = 1.0;
+    p.shared_pki = 0.00856;
+    p.clean_pki = 0.01280;
+    p.inv_pki = 0.00341;
+    p.snoop_pki_per_core = 0.00343;
+    p.exec_energy_scale = 0.93;
+    p.cache_contention = 0.05;
+    p.variability_cv = 0.004;
+    suite.push_back(make("busy_wait", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  {  // compute: dense scalar integer/FP ALU chains, high ILP, some branching.
+    PhaseCharacter p = base_phase("alu", 1.0);
+    p.base_cpi = 0.34;
+    p.frac_load = 0.16;
+    p.frac_store = 0.05;
+    p.frac_branch_cn = 0.09;
+    p.frac_branch_ucn = 0.012;
+    p.branch_taken_rate = 0.55;
+    p.branch_misp_rate = 0.024;  // data-dependent branches: high BR_MSP (paper §V)
+    p.l1d_ld_mpki = 0.8;
+    p.l1d_st_mpki = 0.2;
+    p.l1i_mpki = 0.05;
+    p.l2_ld_mpki = 0.25;
+    p.l2_st_mpki = 0.06;
+    p.l2i_mpki = 0.01;
+    p.l3_ld_mpki = 0.05;
+    p.l3_wb_mpki = 0.02;
+    p.tlb_d_mpki = 0.01;
+    p.tlb_i_mpki = 0.001;
+    p.prefetch_mpki = 0.15;
+    p.full_issue_cpki = 210.0;
+    p.full_compl_cpki = 185.0;
+    p.stall_issue_base_cpki = 18.0;
+    p.stall_compl_base_cpki = 30.0;
+    p.res_stall_base_cpki = 25.0;
+    p.avx256_frac = 0.12;
+    p.uops_per_inst = 1.08;
+    p.shared_pki = 0.01301;
+    p.clean_pki = 0.01884;
+    p.inv_pki = 0.00494;
+    p.snoop_pki_per_core = 0.00542;
+    p.exec_energy_scale = 1.02;
+    p.cache_contention = 0.06;
+    p.variability_cv = 0.006;
+    suite.push_back(make("compute", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  {  // sqrt: serialized scalar square-root chain; long-latency unit bound.
+    PhaseCharacter p = base_phase("sqrt", 1.0);
+    p.base_cpi = 4.2;
+    p.frac_load = 0.08;
+    p.frac_store = 0.04;
+    p.frac_branch_cn = 0.06;
+    p.frac_branch_ucn = 0.008;
+    p.branch_taken_rate = 0.9;
+    p.branch_misp_rate = 0.001;
+    p.l1d_ld_mpki = 0.1;
+    p.l1d_st_mpki = 0.03;
+    p.l1i_mpki = 0.02;
+    p.l2_ld_mpki = 0.04;
+    p.l2_st_mpki = 0.01;
+    p.l2i_mpki = 0.004;
+    p.l3_ld_mpki = 0.01;
+    p.l3_wb_mpki = 0.004;
+    p.tlb_d_mpki = 0.004;
+    p.tlb_i_mpki = 0.0005;
+    p.prefetch_mpki = 0.05;
+    p.full_issue_cpki = 15.0;
+    p.full_compl_cpki = 10.0;
+    p.stall_issue_base_cpki = 2800.0;  // most cycles wait on the sqrt unit
+    p.stall_compl_base_cpki = 3200.0;
+    p.res_stall_base_cpki = 2900.0;
+    p.uops_per_inst = 1.02;
+    p.shared_pki = 0.00915;
+    p.clean_pki = 0.01363;
+    p.inv_pki = 0.00362;
+    p.snoop_pki_per_core = 0.00372;
+    p.exec_energy_scale = 0.96;
+    p.cache_contention = 0.05;
+    p.variability_cv = 0.004;
+    suite.push_back(make("sqrt", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  {  // sinus: libm sine evaluation; polynomial kernels with moderate branching.
+    PhaseCharacter p = base_phase("sinus", 1.0);
+    p.base_cpi = 1.15;
+    p.frac_load = 0.2;
+    p.frac_store = 0.08;
+    p.frac_branch_cn = 0.13;
+    p.frac_branch_ucn = 0.035;
+    p.branch_taken_rate = 0.6;
+    p.branch_misp_rate = 0.006;
+    p.l1d_ld_mpki = 1.2;
+    p.l1d_st_mpki = 0.3;
+    p.l1i_mpki = 2.0;
+    p.l2_ld_mpki = 0.3;
+    p.l2_st_mpki = 0.08;
+    p.l2i_mpki = 0.4;
+    p.l3_ld_mpki = 0.06;
+    p.l3_wb_mpki = 0.02;
+    p.tlb_d_mpki = 0.02;
+    p.tlb_i_mpki = 0.004;
+    p.prefetch_mpki = 0.2;
+    p.full_issue_cpki = 95.0;
+    p.full_compl_cpki = 75.0;
+    p.stall_issue_base_cpki = 320.0;
+    p.stall_compl_base_cpki = 380.0;
+    p.res_stall_base_cpki = 260.0;
+    p.avx256_frac = 0.05;
+    p.uops_per_inst = 1.1;
+    p.shared_pki = 0.01151;
+    p.clean_pki = 0.01655;
+    p.inv_pki = 0.00433;
+    p.snoop_pki_per_core = 0.00486;
+    p.exec_energy_scale = 0.99;
+    p.cache_contention = 0.10;
+    p.variability_cv = 0.006;
+    suite.push_back(make("sinus", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  {  // matmul: blocked DGEMM; AVX-heavy, cache-blocked, light DRAM traffic.
+    PhaseCharacter p = base_phase("dgemm", 1.0);
+    p.base_cpi = 0.30;
+    p.frac_load = 0.34;
+    p.frac_store = 0.06;
+    p.frac_branch_cn = 0.04;
+    p.frac_branch_ucn = 0.004;
+    p.branch_taken_rate = 0.92;
+    p.branch_misp_rate = 0.0012;
+    p.l1d_ld_mpki = 9.0;
+    p.l1d_st_mpki = 1.2;
+    p.l1i_mpki = 0.03;
+    p.l2_ld_mpki = 1.6;
+    p.l2_st_mpki = 0.4;
+    p.l2i_mpki = 0.005;
+    p.l3_ld_mpki = 0.25;
+    p.l3_wb_mpki = 0.15;
+    p.tlb_d_mpki = 0.12;
+    p.tlb_i_mpki = 0.0008;
+    p.prefetch_mpki = 2.2;
+    p.full_issue_cpki = 255.0;
+    p.full_compl_cpki = 230.0;
+    p.stall_issue_base_cpki = 12.0;
+    p.stall_compl_base_cpki = 20.0;
+    p.res_stall_base_cpki = 18.0;
+    p.avx256_frac = 0.48;
+    p.uops_per_inst = 1.05;
+    p.dram_bytes_per_inst = 0.25;
+    p.shared_pki = 0.01406;
+    p.clean_pki = 0.01852;
+    p.inv_pki = 0.00465;
+    p.snoop_pki_per_core = 0.00833;
+    p.exec_energy_scale = 1.05;
+    p.cache_contention = 0.25;
+    p.variability_cv = 0.008;
+    suite.push_back(make("matmul", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  {  // memory_read: streaming loads over a >L3 buffer; bandwidth bound.
+    PhaseCharacter p = base_phase("stream_read", 1.0);
+    p.base_cpi = 0.55;
+    p.mem_ns_per_inst = 0.35;
+    p.frac_load = 0.48;
+    p.frac_store = 0.01;
+    p.frac_branch_cn = 0.06;
+    p.frac_branch_ucn = 0.003;
+    p.branch_taken_rate = 0.98;
+    p.branch_misp_rate = 0.0006;
+    p.l1d_ld_mpki = 31.0;  // one miss per cache line (64 B / ~2 B per inst)
+    p.l1d_st_mpki = 0.05;
+    p.l1i_mpki = 0.01;
+    p.l2_ld_mpki = 12.0;   // prefetchers cover most of the stream
+    p.l2_st_mpki = 0.02;
+    p.l2i_mpki = 0.002;
+    p.l3_ld_mpki = 4.0;
+    p.l3_wb_mpki = 0.3;
+    p.tlb_d_mpki = 0.5;    // 4 KiB pages on a stream
+    p.tlb_i_mpki = 0.0005;
+    p.prefetch_mpki = 26.0;  // the prefetcher fetches nearly every line
+    p.snoop_pki_per_core = 0.05;
+    p.full_issue_cpki = 60.0;
+    p.full_compl_cpki = 45.0;
+    p.stall_issue_base_cpki = 90.0;
+    p.stall_compl_base_cpki = 120.0;
+    p.res_stall_base_cpki = 110.0;
+    p.uops_per_inst = 1.0;
+    p.dram_bytes_per_inst = 4.2;
+    p.shared_pki = 0.06776;
+    p.clean_pki = 0.04950;
+    p.inv_pki = 0.00638;
+    p.snoop_pki_per_core = 0.06429;
+    p.exec_energy_scale = 0.97;
+    p.cache_contention = 0.80;
+    p.variability_cv = 0.01;
+    suite.push_back(make("memory_read", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  {  // memory_write: streaming stores; RFO + writeback traffic, write stalls.
+    PhaseCharacter p = base_phase("stream_write", 1.0);
+    p.base_cpi = 0.6;
+    p.mem_ns_per_inst = 0.45;
+    p.frac_load = 0.02;
+    p.frac_store = 0.46;
+    p.frac_branch_cn = 0.06;
+    p.frac_branch_ucn = 0.003;
+    p.branch_taken_rate = 0.98;
+    p.branch_misp_rate = 0.0006;
+    p.l1d_ld_mpki = 0.2;
+    p.l1d_st_mpki = 30.0;
+    p.l1i_mpki = 0.01;
+    p.l2_ld_mpki = 0.1;
+    p.l2_st_mpki = 14.0;
+    p.l2i_mpki = 0.002;
+    p.l3_ld_mpki = 0.05;
+    p.l3_wb_mpki = 14.0;
+    p.tlb_d_mpki = 0.5;
+    p.tlb_i_mpki = 0.0005;
+    p.prefetch_mpki = 9.0;
+    p.snoop_pki_per_core = 0.06;
+    p.full_issue_cpki = 50.0;
+    p.full_compl_cpki = 40.0;
+    p.stall_issue_base_cpki = 110.0;
+    p.stall_compl_base_cpki = 140.0;
+    p.res_stall_base_cpki = 130.0;
+    p.mem_wstall_cpki = 160.0;
+    p.uops_per_inst = 1.0;
+    p.dram_bytes_per_inst = 4.6;  // RFO read + writeback
+    p.shared_pki = 0.16074;
+    p.clean_pki = 0.26577;
+    p.inv_pki = 0.07920;
+    p.snoop_pki_per_core = 0.07144;
+    p.exec_energy_scale = 0.98;
+    p.cache_contention = 0.75;
+    p.variability_cv = 0.012;
+    suite.push_back(make("memory_write", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  {  // memory_copy: load+store streaming; the sum of the two above.
+    PhaseCharacter p = base_phase("stream_copy", 1.0);
+    p.base_cpi = 0.58;
+    p.mem_ns_per_inst = 0.40;
+    p.frac_load = 0.27;
+    p.frac_store = 0.25;
+    p.frac_branch_cn = 0.06;
+    p.frac_branch_ucn = 0.003;
+    p.branch_taken_rate = 0.98;
+    p.branch_misp_rate = 0.0006;
+    p.l1d_ld_mpki = 16.0;
+    p.l1d_st_mpki = 15.0;
+    p.l1i_mpki = 0.01;
+    p.l2_ld_mpki = 6.5;
+    p.l2_st_mpki = 7.0;
+    p.l2i_mpki = 0.002;
+    p.l3_ld_mpki = 2.2;
+    p.l3_wb_mpki = 7.0;
+    p.tlb_d_mpki = 0.55;
+    p.tlb_i_mpki = 0.0005;
+    p.prefetch_mpki = 17.0;
+    p.snoop_pki_per_core = 0.055;
+    p.full_issue_cpki = 55.0;
+    p.full_compl_cpki = 42.0;
+    p.stall_issue_base_cpki = 100.0;
+    p.stall_compl_base_cpki = 130.0;
+    p.res_stall_base_cpki = 120.0;
+    p.mem_wstall_cpki = 80.0;
+    p.uops_per_inst = 1.0;
+    p.dram_bytes_per_inst = 4.4;
+    p.shared_pki = 0.12040;
+    p.clean_pki = 0.16820;
+    p.inv_pki = 0.04600;
+    p.snoop_pki_per_core = 0.06835;
+    p.exec_energy_scale = 0.98;
+    p.cache_contention = 0.78;
+    p.variability_cv = 0.01;
+    suite.push_back(make("memory_copy", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  {  // addpd: register-resident packed-double add loop; pure AVX throughput.
+    PhaseCharacter p = base_phase("addpd", 1.0);
+    p.base_cpi = 0.27;
+    p.frac_load = 0.02;
+    p.frac_store = 0.01;
+    p.frac_branch_cn = 0.03;
+    p.frac_branch_ucn = 0.002;
+    p.branch_taken_rate = 0.99;
+    p.branch_misp_rate = 0.0003;
+    p.l1d_ld_mpki = 0.02;
+    p.l1d_st_mpki = 0.005;
+    p.l1i_mpki = 0.005;
+    p.l2_ld_mpki = 0.01;
+    p.l2_st_mpki = 0.002;
+    p.l2i_mpki = 0.001;
+    p.l3_ld_mpki = 0.003;
+    p.l3_wb_mpki = 0.001;
+    p.tlb_d_mpki = 0.001;
+    p.tlb_i_mpki = 0.0002;
+    p.prefetch_mpki = 0.01;
+    p.full_issue_cpki = 265.0;
+    p.full_compl_cpki = 245.0;
+    p.stall_issue_base_cpki = 8.0;
+    p.stall_compl_base_cpki = 14.0;
+    p.res_stall_base_cpki = 10.0;
+    p.avx256_frac = 0.88;
+    p.uops_per_inst = 1.0;
+    p.shared_pki = 0.01156;
+    p.clean_pki = 0.01729;
+    p.inv_pki = 0.00461;
+    p.snoop_pki_per_core = 0.00464;
+    p.exec_energy_scale = 1.04;
+    p.cache_contention = 0.04;
+    p.variability_cv = 0.004;
+    suite.push_back(make("addpd", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  {  // mulpd_sqrt: AVX multiply + sqrt mix (FIRESTARTER-style near-peak power).
+    PhaseCharacter p = base_phase("mulpd_sqrt", 1.0);
+    p.base_cpi = 0.45;
+    p.frac_load = 0.1;
+    p.frac_store = 0.05;
+    p.frac_branch_cn = 0.03;
+    p.frac_branch_ucn = 0.004;
+    p.branch_taken_rate = 0.99;
+    p.branch_misp_rate = 0.0003;
+    p.l1d_ld_mpki = 1.5;
+    p.l1d_st_mpki = 0.5;
+    p.l1i_mpki = 0.01;
+    p.l2_ld_mpki = 0.3;
+    p.l2_st_mpki = 0.1;
+    p.l2i_mpki = 0.002;
+    p.l3_ld_mpki = 0.05;
+    p.l3_wb_mpki = 0.03;
+    p.tlb_d_mpki = 0.01;
+    p.tlb_i_mpki = 0.0003;
+    p.prefetch_mpki = 0.4;
+    p.full_issue_cpki = 190.0;
+    p.full_compl_cpki = 165.0;
+    p.stall_issue_base_cpki = 40.0;
+    p.stall_compl_base_cpki = 60.0;
+    p.res_stall_base_cpki = 45.0;
+    p.avx256_frac = 0.92;
+    p.uops_per_inst = 1.04;
+    p.dram_bytes_per_inst = 0.1;
+    p.shared_pki = 0.01096;
+    p.clean_pki = 0.01590;
+    p.inv_pki = 0.00418;
+    p.snoop_pki_per_core = 0.00490;
+    p.exec_energy_scale = 1.06;
+    p.cache_contention = 0.06;
+    p.variability_cv = 0.005;
+    suite.push_back(make("mulpd_sqrt", Suite::Roco2, {p}, 10.0, true));
+  }
+
+  return suite;
+}
+
+std::vector<Workload> spec_omp2012_suite() {
+  std::vector<Workload> suite;
+
+  {  // 350.md: molecular dynamics; compute bound, data-dependent branches.
+    PhaseCharacter force = base_phase("force", 0.75);
+    force.base_cpi = 0.52;
+    force.frac_load = 0.30;
+    force.frac_store = 0.09;
+    force.frac_branch_cn = 0.11;
+    force.frac_branch_ucn = 0.025;
+    force.branch_taken_rate = 0.52;
+    force.branch_misp_rate = 0.028;  // neighbour-cutoff branches: high BR_MSP (paper §V)
+    force.l1d_ld_mpki = 6.0;
+    force.l1d_st_mpki = 1.0;
+    force.l1i_mpki = 0.4;
+    force.l2_ld_mpki = 1.4;
+    force.l2_st_mpki = 0.3;
+    force.l2i_mpki = 0.06;
+    force.l3_ld_mpki = 0.3;
+    force.l3_wb_mpki = 0.1;
+    force.tlb_d_mpki = 0.15;
+    force.tlb_i_mpki = 0.01;
+    force.prefetch_mpki = 1.8;
+    force.snoop_pki_per_core = 0.04;
+    force.full_issue_cpki = 150.0;
+    force.full_compl_cpki = 130.0;
+    force.stall_issue_base_cpki = 80.0;
+    force.stall_compl_base_cpki = 110.0;
+    force.res_stall_base_cpki = 90.0;
+    force.avx256_frac = 0.30;
+    force.uops_per_inst = 1.24;
+    force.dram_bytes_per_inst = 0.15;
+    force.shared_pki = 0.01332;
+    force.clean_pki = 0.01692;
+    force.inv_pki = 0.00414;
+    force.snoop_pki_per_core = 0.00741;
+    force.exec_energy_scale = 0.88;
+    force.cache_contention = 0.30;
+    force.variability_cv = 0.03;
+
+    PhaseCharacter neigh = base_phase("neighbour", 0.25);
+    neigh = force;
+    neigh.name = "neighbour";
+    neigh.weight = 0.25;
+    neigh.base_cpi = 0.9;
+    neigh.mem_ns_per_inst = 0.35;
+    neigh.l1d_ld_mpki = 18.0;
+    neigh.l2_ld_mpki = 7.0;
+    neigh.l3_ld_mpki = 2.4;
+    neigh.prefetch_mpki = 6.0;
+    neigh.dram_bytes_per_inst = 1.6;
+    neigh.avx256_frac = 0.05;
+    neigh.variability_cv = 0.05;
+    suite.push_back(make("md", Suite::SpecOmp, {force, neigh}, 40.0, false));
+  }
+
+  {  // 351.bwaves: blast waves CFD; strongly memory-bandwidth bound.
+    PhaseCharacter p = base_phase("solver", 1.0);
+    p.base_cpi = 0.6;
+    p.mem_ns_per_inst = 0.50;
+    p.frac_load = 0.42;
+    p.frac_store = 0.12;
+    p.frac_branch_cn = 0.04;
+    p.frac_branch_ucn = 0.006;
+    p.branch_taken_rate = 0.9;
+    p.branch_misp_rate = 0.003;
+    p.l1d_ld_mpki = 24.0;
+    p.l1d_st_mpki = 6.0;
+    p.l1i_mpki = 0.2;
+    p.l2_ld_mpki = 10.0;
+    p.l2_st_mpki = 3.0;
+    p.l2i_mpki = 0.03;
+    p.l3_ld_mpki = 3.4;
+    p.l3_wb_mpki = 2.6;
+    p.tlb_d_mpki = 0.8;
+    p.tlb_i_mpki = 0.008;
+    p.prefetch_mpki = 19.0;
+    p.snoop_pki_per_core = 0.07;
+    p.full_issue_cpki = 70.0;
+    p.full_compl_cpki = 55.0;
+    p.stall_issue_base_cpki = 120.0;
+    p.stall_compl_base_cpki = 150.0;
+    p.res_stall_base_cpki = 140.0;
+    p.mem_wstall_cpki = 40.0;
+    p.avx256_frac = 0.22;
+    p.uops_per_inst = 1.16;
+    p.dram_bytes_per_inst = 3.4;
+    p.shared_pki = 0.10250;
+    p.clean_pki = 0.10925;
+    p.inv_pki = 0.02450;
+    p.snoop_pki_per_core = 0.07081;
+    p.exec_energy_scale = 1.26;
+    p.cache_contention = 0.70;
+    p.variability_cv = 0.04;
+    suite.push_back(make("bwaves", Suite::SpecOmp, {p}, 40.0, false));
+  }
+
+  {  // 352.nab: nucleic acid builder; mixed scalar FP, pointer chasing.
+    PhaseCharacter p = base_phase("gb", 1.0);
+    p.base_cpi = 0.68;
+    p.mem_ns_per_inst = 0.12;
+    p.frac_load = 0.28;
+    p.frac_store = 0.10;
+    p.frac_branch_cn = 0.13;
+    p.frac_branch_ucn = 0.03;
+    p.branch_taken_rate = 0.58;
+    p.branch_misp_rate = 0.018;
+    p.l1d_ld_mpki = 8.0;
+    p.l1d_st_mpki = 1.6;
+    p.l1i_mpki = 1.2;
+    p.l2_ld_mpki = 2.4;
+    p.l2_st_mpki = 0.5;
+    p.l2i_mpki = 0.25;
+    p.l3_ld_mpki = 0.7;
+    p.l3_wb_mpki = 0.3;
+    p.tlb_d_mpki = 0.3;
+    p.tlb_i_mpki = 0.05;
+    p.prefetch_mpki = 2.4;
+    p.snoop_pki_per_core = 0.05;
+    p.full_issue_cpki = 110.0;
+    p.full_compl_cpki = 90.0;
+    p.stall_issue_base_cpki = 120.0;
+    p.stall_compl_base_cpki = 160.0;
+    p.res_stall_base_cpki = 130.0;
+    p.avx256_frac = 0.10;
+    p.uops_per_inst = 1.30;
+    p.dram_bytes_per_inst = 0.5;
+    p.shared_pki = 0.02640;
+    p.clean_pki = 0.03024;
+    p.inv_pki = 0.00696;
+    p.snoop_pki_per_core = 0.01409;
+    p.exec_energy_scale = 0.86;
+    p.cache_contention = 0.40;
+    p.variability_cv = 0.035;
+    suite.push_back(make("nab", Suite::SpecOmp, {p}, 40.0, false));
+  }
+
+  {  // 357.bt331: block-tridiagonal solver; cache-resident FP with phases.
+    PhaseCharacter x = base_phase("x_solve", 0.5);
+    x.base_cpi = 0.46;
+    x.mem_ns_per_inst = 0.08;
+    x.frac_load = 0.33;
+    x.frac_store = 0.12;
+    x.frac_branch_cn = 0.05;
+    x.frac_branch_ucn = 0.01;
+    x.branch_taken_rate = 0.88;
+    x.branch_misp_rate = 0.004;
+    x.l1d_ld_mpki = 7.0;
+    x.l1d_st_mpki = 2.0;
+    x.l1i_mpki = 0.8;
+    x.l2_ld_mpki = 2.0;
+    x.l2_st_mpki = 0.7;
+    x.l2i_mpki = 0.15;
+    x.l3_ld_mpki = 0.6;
+    x.l3_wb_mpki = 0.4;
+    x.tlb_d_mpki = 0.25;
+    x.tlb_i_mpki = 0.03;
+    x.prefetch_mpki = 3.0;
+    x.snoop_pki_per_core = 0.06;
+    x.full_issue_cpki = 160.0;
+    x.full_compl_cpki = 140.0;
+    x.stall_issue_base_cpki = 60.0;
+    x.stall_compl_base_cpki = 85.0;
+    x.res_stall_base_cpki = 70.0;
+    x.avx256_frac = 0.26;
+    x.uops_per_inst = 1.20;
+    x.dram_bytes_per_inst = 0.7;
+    x.shared_pki = 0.02420;
+    x.clean_pki = 0.02926;
+    x.inv_pki = 0.00704;
+    x.snoop_pki_per_core = 0.01380;
+    x.exec_energy_scale = 1.22;
+    x.cache_contention = 0.40;
+    x.variability_cv = 0.03;
+
+    PhaseCharacter rhs = x;
+    rhs.name = "rhs";
+    rhs.weight = 0.5;
+    rhs.base_cpi = 0.58;
+    rhs.mem_ns_per_inst = 0.22;
+    rhs.l1d_ld_mpki = 12.0;
+    rhs.l2_ld_mpki = 4.5;
+    rhs.l3_ld_mpki = 1.5;
+    rhs.prefetch_mpki = 7.5;
+    rhs.dram_bytes_per_inst = 1.5;
+    rhs.avx256_frac = 0.18;
+    rhs.variability_cv = 0.04;
+    suite.push_back(make("bt331", Suite::SpecOmp, {x, rhs}, 40.0, false));
+  }
+
+  {  // 358.botsalgn: protein alignment; integer, branchy, task parallel.
+    PhaseCharacter p = base_phase("align", 1.0);
+    p.base_cpi = 0.62;
+    p.frac_load = 0.26;
+    p.frac_store = 0.08;
+    p.frac_branch_cn = 0.21;
+    p.frac_branch_ucn = 0.045;
+    p.branch_taken_rate = 0.5;
+    p.branch_misp_rate = 0.032;
+    p.l1d_ld_mpki = 3.5;
+    p.l1d_st_mpki = 0.9;
+    p.l1i_mpki = 1.6;
+    p.l2_ld_mpki = 0.9;
+    p.l2_st_mpki = 0.2;
+    p.l2i_mpki = 0.3;
+    p.l3_ld_mpki = 0.2;
+    p.l3_wb_mpki = 0.08;
+    p.tlb_d_mpki = 0.1;
+    p.tlb_i_mpki = 0.06;
+    p.prefetch_mpki = 0.8;
+    p.snoop_pki_per_core = 0.03;
+    p.full_issue_cpki = 120.0;
+    p.full_compl_cpki = 100.0;
+    p.stall_issue_base_cpki = 95.0;
+    p.stall_compl_base_cpki = 130.0;
+    p.res_stall_base_cpki = 80.0;
+    p.uops_per_inst = 1.27;
+    p.dram_bytes_per_inst = 0.12;
+    p.shared_pki = 0.01737;
+    p.clean_pki = 0.02314;
+    p.inv_pki = 0.00582;
+    p.snoop_pki_per_core = 0.00824;
+    p.exec_energy_scale = 1.26;
+    p.cache_contention = 0.20;
+    p.variability_cv = 0.045;
+    suite.push_back(make("botsalgn", Suite::SpecOmp, {p}, 40.0, false));
+  }
+
+  {  // 360.ilbdc: lattice-Boltzmann; irregular memory, bandwidth + latency.
+    PhaseCharacter p = base_phase("collide_stream", 1.0);
+    p.base_cpi = 0.66;
+    p.mem_ns_per_inst = 0.60;
+    p.frac_load = 0.40;
+    p.frac_store = 0.18;
+    p.frac_branch_cn = 0.05;
+    p.frac_branch_ucn = 0.008;
+    p.branch_taken_rate = 0.85;
+    p.branch_misp_rate = 0.004;
+    p.l1d_ld_mpki = 28.0;
+    p.l1d_st_mpki = 9.0;
+    p.l1i_mpki = 0.3;
+    p.l2_ld_mpki = 13.0;
+    p.l2_st_mpki = 5.0;
+    p.l2i_mpki = 0.05;
+    p.l3_ld_mpki = 5.2;     // irregular access defeats part of the prefetching
+    p.l3_wb_mpki = 4.0;
+    p.tlb_d_mpki = 1.6;     // scattered lattice sites: heavy TLB pressure
+    p.tlb_i_mpki = 0.01;
+    p.prefetch_mpki = 14.0;
+    p.snoop_pki_per_core = 0.09;
+    p.full_issue_cpki = 55.0;
+    p.full_compl_cpki = 42.0;
+    p.stall_issue_base_cpki = 150.0;
+    p.stall_compl_base_cpki = 190.0;
+    p.res_stall_base_cpki = 170.0;
+    p.mem_wstall_cpki = 60.0;
+    p.avx256_frac = 0.12;
+    p.uops_per_inst = 1.24;
+    p.dram_bytes_per_inst = 3.8;
+    p.shared_pki = 0.09632;
+    p.clean_pki = 0.10096;
+    p.inv_pki = 0.02240;
+    p.snoop_pki_per_core = 0.05144;
+    p.exec_energy_scale = 1.34;
+    p.cache_contention = 0.72;
+    p.variability_cv = 0.06;
+    suite.push_back(make("ilbdc", Suite::SpecOmp, {p}, 40.0, false));
+  }
+
+  {  // 362.fma3d: crash simulation; huge code footprint, frontend bound.
+    PhaseCharacter p = base_phase("elements", 1.0);
+    p.base_cpi = 0.85;
+    p.mem_ns_per_inst = 0.1;
+    p.frac_load = 0.27;
+    p.frac_store = 0.11;
+    p.frac_branch_cn = 0.14;
+    p.frac_branch_ucn = 0.05;
+    p.branch_taken_rate = 0.6;
+    p.branch_misp_rate = 0.012;
+    p.l1d_ld_mpki = 5.5;
+    p.l1d_st_mpki = 1.8;
+    p.l1i_mpki = 9.0;       // the classic fma3d instruction-cache thrash
+    p.l2_ld_mpki = 1.6;
+    p.l2_st_mpki = 0.5;
+    p.l2i_mpki = 2.2;
+    p.l3_ld_mpki = 0.5;
+    p.l3_wb_mpki = 0.2;
+    p.tlb_d_mpki = 0.25;
+    p.tlb_i_mpki = 0.8;     // and the matching ITLB pressure
+    p.prefetch_mpki = 1.6;
+    p.snoop_pki_per_core = 0.05;
+    p.full_issue_cpki = 70.0;
+    p.full_compl_cpki = 55.0;
+    p.stall_issue_base_cpki = 220.0;
+    p.stall_compl_base_cpki = 280.0;
+    p.res_stall_base_cpki = 160.0;
+    p.avx256_frac = 0.08;
+    p.uops_per_inst = 1.34;
+    p.dram_bytes_per_inst = 0.4;
+    p.shared_pki = 0.02300;
+    p.clean_pki = 0.02750;
+    p.inv_pki = 0.00650;
+    p.snoop_pki_per_core = 0.01164;
+    p.exec_energy_scale = 1.36;
+    p.cache_contention = 0.30;
+    p.variability_cv = 0.05;
+    suite.push_back(make("fma3d", Suite::SpecOmp, {p}, 40.0, false));
+  }
+
+  {  // 363.swim: shallow-water stencil; classic stream-like bandwidth hog.
+    PhaseCharacter p = base_phase("stencil", 1.0);
+    p.base_cpi = 0.5;
+    p.mem_ns_per_inst = 0.50;
+    p.frac_load = 0.44;
+    p.frac_store = 0.14;
+    p.frac_branch_cn = 0.03;
+    p.frac_branch_ucn = 0.004;
+    p.branch_taken_rate = 0.95;
+    p.branch_misp_rate = 0.0015;
+    p.l1d_ld_mpki = 26.0;
+    p.l1d_st_mpki = 8.0;
+    p.l1i_mpki = 0.05;
+    p.l2_ld_mpki = 11.0;
+    p.l2_st_mpki = 4.0;
+    p.l2i_mpki = 0.01;
+    p.l3_ld_mpki = 3.0;
+    p.l3_wb_mpki = 3.2;
+    p.tlb_d_mpki = 0.7;
+    p.tlb_i_mpki = 0.002;
+    p.prefetch_mpki = 21.0;
+    p.snoop_pki_per_core = 0.08;
+    p.full_issue_cpki = 65.0;
+    p.full_compl_cpki = 50.0;
+    p.stall_issue_base_cpki = 110.0;
+    p.stall_compl_base_cpki = 140.0;
+    p.res_stall_base_cpki = 130.0;
+    p.mem_wstall_cpki = 50.0;
+    p.avx256_frac = 0.20;
+    p.uops_per_inst = 1.14;
+    p.dram_bytes_per_inst = 3.6;
+    p.shared_pki = 0.07596;
+    p.clean_pki = 0.08730;
+    p.inv_pki = 0.02088;
+    p.snoop_pki_per_core = 0.05423;
+    p.exec_energy_scale = 1.26;
+    p.cache_contention = 0.68;
+    p.variability_cv = 0.035;
+    suite.push_back(make("swim", Suite::SpecOmp, {p}, 40.0, false));
+  }
+
+  {  // 370.mgrid331: multigrid; alternates compute-dense and memory phases.
+    PhaseCharacter fine = base_phase("fine_grid", 0.6);
+    fine.base_cpi = 0.55;
+    fine.mem_ns_per_inst = 0.55;
+    fine.frac_load = 0.40;
+    fine.frac_store = 0.12;
+    fine.frac_branch_cn = 0.04;
+    fine.frac_branch_ucn = 0.005;
+    fine.branch_taken_rate = 0.93;
+    fine.branch_misp_rate = 0.002;
+    fine.l1d_ld_mpki = 20.0;
+    fine.l1d_st_mpki = 5.0;
+    fine.l1i_mpki = 0.1;
+    fine.l2_ld_mpki = 8.0;
+    fine.l2_st_mpki = 2.4;
+    fine.l2i_mpki = 0.02;
+    fine.l3_ld_mpki = 2.2;
+    fine.l3_wb_mpki = 1.8;
+    fine.tlb_d_mpki = 0.5;
+    fine.tlb_i_mpki = 0.004;
+    fine.prefetch_mpki = 15.0;
+    fine.snoop_pki_per_core = 0.07;
+    fine.full_issue_cpki = 80.0;
+    fine.full_compl_cpki = 62.0;
+    fine.stall_issue_base_cpki = 95.0;
+    fine.stall_compl_base_cpki = 125.0;
+    fine.res_stall_base_cpki = 110.0;
+    fine.avx256_frac = 0.24;
+    fine.uops_per_inst = 1.17;
+    fine.dram_bytes_per_inst = 2.4;
+    fine.shared_pki = 0.06960;
+    fine.clean_pki = 0.07704;
+    fine.inv_pki = 0.01776;
+    fine.snoop_pki_per_core = 0.05070;
+    fine.exec_energy_scale = 1.28;
+    fine.cache_contention = 0.60;
+    fine.variability_cv = 0.04;
+
+    PhaseCharacter coarse = fine;
+    coarse.name = "coarse_grid";
+    coarse.weight = 0.4;
+    coarse.mem_ns_per_inst = 0.1;
+    coarse.l1d_ld_mpki = 8.0;
+    coarse.l2_ld_mpki = 2.0;
+    coarse.l3_ld_mpki = 0.4;
+    coarse.l3_wb_mpki = 0.3;
+    coarse.prefetch_mpki = 3.0;
+    coarse.dram_bytes_per_inst = 0.5;
+    coarse.base_cpi = 0.48;
+    coarse.variability_cv = 0.05;
+    suite.push_back(make("mgrid331", Suite::SpecOmp, {fine, coarse}, 40.0, false));
+  }
+
+  {  // 371.applu331: SSOR solver; pipelined wavefronts, moderate memory.
+    PhaseCharacter p = base_phase("ssor", 1.0);
+    p.base_cpi = 0.6;
+    p.mem_ns_per_inst = 0.3;
+    p.frac_load = 0.34;
+    p.frac_store = 0.13;
+    p.frac_branch_cn = 0.07;
+    p.frac_branch_ucn = 0.018;
+    p.branch_taken_rate = 0.8;
+    p.branch_misp_rate = 0.006;
+    p.l1d_ld_mpki = 13.0;
+    p.l1d_st_mpki = 4.0;
+    p.l1i_mpki = 2.2;
+    p.l2_ld_mpki = 5.0;
+    p.l2_st_mpki = 1.8;
+    p.l2i_mpki = 0.5;
+    p.l3_ld_mpki = 1.6;
+    p.l3_wb_mpki = 1.2;
+    p.tlb_d_mpki = 0.4;
+    p.tlb_i_mpki = 0.15;
+    p.prefetch_mpki = 9.0;
+    p.snoop_pki_per_core = 0.08;
+    p.full_issue_cpki = 95.0;
+    p.full_compl_cpki = 78.0;
+    p.stall_issue_base_cpki = 110.0;
+    p.stall_compl_base_cpki = 140.0;
+    p.res_stall_base_cpki = 120.0;
+    p.avx256_frac = 0.16;
+    p.uops_per_inst = 1.22;
+    p.dram_bytes_per_inst = 1.6;
+    p.shared_pki = 0.05014;
+    p.clean_pki = 0.05589;
+    p.inv_pki = 0.01288;
+    p.snoop_pki_per_core = 0.03306;
+    p.exec_energy_scale = 1.17;
+    p.cache_contention = 0.50;
+    p.variability_cv = 0.05;
+    suite.push_back(make("applu331", Suite::SpecOmp, {p}, 40.0, false));
+  }
+
+  return suite;
+}
+
+std::vector<Workload> all_workloads() {
+  std::vector<Workload> all = roco2_suite();
+  std::vector<Workload> spec = spec_omp2012_suite();
+  all.insert(all.end(), std::make_move_iterator(spec.begin()),
+             std::make_move_iterator(spec.end()));
+  return all;
+}
+
+std::optional<Workload> find_workload(std::string_view name) {
+  std::vector<Workload> all = all_workloads();
+  for (Workload& w : all) {
+    if (w.name == name) {
+      return std::move(w);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pwx::workloads

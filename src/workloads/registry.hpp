@@ -1,0 +1,28 @@
+// Workload registry: the concrete roco2 and SPEC OMP2012 suites used by the
+// paper's evaluation (Section IV), characterized for the execution simulator.
+//
+// The SPEC suite excludes kdtree, imagick, smithwa, and botsspar — the same
+// four the paper excluded because they "failed to build or crashed".
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "workloads/character.hpp"
+
+namespace pwx::workloads {
+
+/// The roco2 synthetic workload kernels (11 kernels including idle).
+std::vector<Workload> roco2_suite();
+
+/// The SPEC OMP2012 applications used in the paper (10 benchmarks).
+std::vector<Workload> spec_omp2012_suite();
+
+/// Both suites concatenated (roco2 first), the paper's full workload set.
+std::vector<Workload> all_workloads();
+
+/// Find a workload by name across both suites.
+std::optional<Workload> find_workload(std::string_view name);
+
+}  // namespace pwx::workloads

@@ -1,0 +1,137 @@
+// Tests for the host data path: runnable kernels, the simulator-backed
+// counter source, and graceful perf_event probing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "host/kernels.hpp"
+#include "host/perf_source.hpp"
+#include "host/sim_source.hpp"
+#include "workloads/registry.hpp"
+
+namespace pwx::host {
+namespace {
+
+// ---------------------------------------------------------------- kernels
+
+TEST(Kernels, AllKernelsRunAndReportWork) {
+  for (const std::string& name : kernel_names()) {
+    const KernelResult result = run_kernel(name, 0.05);
+    EXPECT_EQ(result.kernel, name);
+    EXPECT_GE(result.elapsed_s, 0.05) << name;
+    EXPECT_LT(result.elapsed_s, 5.0) << name;
+    EXPECT_GT(result.operations, 0.0) << name;
+  }
+}
+
+TEST(Kernels, UnknownKernelRejected) {
+  EXPECT_THROW(run_kernel("quantum_annealer", 0.1), InvalidArgument);
+}
+
+TEST(Kernels, NonPositiveDurationRejected) {
+  EXPECT_THROW(run_compute(0.0), InvalidArgument);
+  EXPECT_THROW(run_sqrt(-1.0), InvalidArgument);
+}
+
+TEST(Kernels, LongerRunsDoMoreWork) {
+  const KernelResult quick = run_compute(0.05);
+  const KernelResult longer = run_compute(0.2);
+  EXPECT_GT(longer.operations, quick.operations);
+}
+
+TEST(Kernels, MemoryKernelsReportBytes) {
+  const KernelResult read = run_memory_read(0.05, 8);
+  EXPECT_GT(read.operations, 8.0 * 1024 * 1024);  // at least one pass
+  const KernelResult copy = run_memory_copy(0.05, 8);
+  EXPECT_GT(copy.operations, 8.0 * 1024 * 1024);
+}
+
+TEST(Kernels, MatmulCountsFlops) {
+  const KernelResult r = run_matmul(0.05, 64);
+  // At least one pass: 2 n³ flops.
+  EXPECT_GE(r.operations, 2.0 * 64 * 64 * 64);
+}
+
+TEST(Kernels, MatmulRejectsTinyMatrices) {
+  EXPECT_THROW(run_matmul(0.1, 4), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- perf probe
+
+TEST(PerfProbe, ReportsStatusWithoutCrashing) {
+  const PerfProbe probe = probe_perf_events();
+  // Either result is legal — containers usually deny PMU access — but the
+  // detail string must explain the outcome.
+  EXPECT_FALSE(probe.detail.empty());
+}
+
+TEST(PerfSource, AvailableEventsOnlyGenericallyMappable) {
+  PerfEventSource source(2.4, 1.0);
+  const auto events = source.available_events();
+  // The generic set is small and must include the architectural counters.
+  const std::set<pmc::Preset> set(events.begin(), events.end());
+  EXPECT_TRUE(set.count(pmc::Preset::TOT_CYC) == 1);
+  EXPECT_TRUE(set.count(pmc::Preset::TOT_INS) == 1);
+  EXPECT_TRUE(set.count(pmc::Preset::BR_MSP) == 1);
+  // No mapping for e.g. FUL_CCY via generic perf events.
+  EXPECT_TRUE(set.count(pmc::Preset::FUL_CCY) == 0);
+}
+
+TEST(PerfSource, InvalidOperatingPointRejected) {
+  EXPECT_THROW(PerfEventSource(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(PerfEventSource(2.4, 0.0), InvalidArgument);
+}
+
+TEST(PerfSource, CountsRealEventsWhenPmuAvailable) {
+  const PerfProbe probe = probe_perf_events();
+  if (!probe.usable) {
+    GTEST_SKIP() << "PMU not accessible here: " << probe.detail;
+  }
+  PerfEventSource source(2.4, 1.0);
+  source.start({pmc::Preset::TOT_CYC, pmc::Preset::TOT_INS});
+  run_compute(0.05);
+  const auto sample = source.read();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_GT(sample->counts.at(pmc::Preset::TOT_CYC), 1e6);
+  EXPECT_GT(sample->counts.at(pmc::Preset::TOT_INS), 1e6);
+}
+
+// ---------------------------------------------------------------- sim source
+
+TEST(SimSource, StreamsIntervalsUntilExhausted) {
+  const sim::Engine engine = sim::Engine::haswell_ep();
+  sim::RunConfig rc;
+  rc.interval_s = 0.25;
+  rc.duration_scale = 0.1;  // 10 s * 0.1 / 0.25 s = 4 intervals
+  SimulatedCounterSource source(engine, *workloads::find_workload("compute"), rc);
+  source.start({pmc::Preset::TOT_CYC, pmc::Preset::TOT_INS});
+  std::size_t intervals = 0;
+  while (const auto sample = source.read()) {
+    ++intervals;
+    EXPECT_NEAR(sample->elapsed_s, 0.25, 1e-9);
+    EXPECT_GT(sample->counts.at(pmc::Preset::TOT_CYC), 0.0);
+    EXPECT_GT(sample->voltage, 0.5);
+    EXPECT_GT(source.last_interval_power(), 30.0);
+  }
+  EXPECT_EQ(intervals, 4u);
+}
+
+TEST(SimSource, ReadBeforeStartRejected) {
+  const sim::Engine engine = sim::Engine::haswell_ep();
+  sim::RunConfig rc;
+  rc.duration_scale = 0.05;
+  SimulatedCounterSource source(engine, *workloads::find_workload("compute"), rc);
+  EXPECT_THROW(source.read(), InvalidArgument);
+}
+
+TEST(SimSource, OffersAllHaswellPresets) {
+  const sim::Engine engine = sim::Engine::haswell_ep();
+  sim::RunConfig rc;
+  rc.duration_scale = 0.05;
+  SimulatedCounterSource source(engine, *workloads::find_workload("compute"), rc);
+  EXPECT_EQ(source.available_events().size(), 54u);
+}
+
+}  // namespace
+}  // namespace pwx::host

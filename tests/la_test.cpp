@@ -1,0 +1,386 @@
+// Unit and property tests for the linear algebra module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/cholesky.hpp"
+#include "la/matrix.hpp"
+#include "la/qr.hpp"
+#include "la/solve.hpp"
+#include "la/svd.hpp"
+
+namespace pwx::la {
+namespace {
+
+Matrix random_matrix(std::size_t m, std::size_t n, Rng& rng) {
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.normal();
+    }
+  }
+  return a;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) { return (a - b).max_abs(); }
+
+// ---------------------------------------------------------------- matrix
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, InitializerListAndRaggedRejection) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, IdentityProperties) {
+  const Matrix i = Matrix::identity(4);
+  const Matrix m{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 1, 2, 3}, {4, 5, 6, 7}};
+  EXPECT_NEAR(max_abs_diff(i * m, m), 0.0, 1e-15);
+  EXPECT_NEAR(max_abs_diff(m * i, m), 0.0, 1e-15);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(1);
+  const Matrix a = random_matrix(5, 3, rng);
+  EXPECT_NEAR(max_abs_diff(a.transposed().transposed(), a), 0.0, 0.0);
+}
+
+TEST(Matrix, MultiplicationMatchesManual) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplicationDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, InvalidArgument);
+}
+
+TEST(Matrix, MatVecAndTransposedMatVecAgreeWithExplicitTranspose) {
+  Rng rng(2);
+  const Matrix a = random_matrix(6, 4, rng);
+  std::vector<double> v(4);
+  std::vector<double> w(6);
+  for (auto& x : v) x = rng.normal();
+  for (auto& x : w) x = rng.normal();
+  const auto av = a.multiply(v);
+  const auto atw = a.multiply_transposed(w);
+  const auto atw_ref = a.transposed().multiply(w);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(atw[i], atw_ref[i], 1e-12);
+  }
+  EXPECT_EQ(av.size(), 6u);
+}
+
+TEST(Matrix, GramEqualsAtA) {
+  Rng rng(3);
+  const Matrix a = random_matrix(7, 3, rng);
+  EXPECT_NEAR(max_abs_diff(a.gram(), a.transposed() * a), 0.0, 1e-12);
+}
+
+TEST(Matrix, SelectColumnsAndRows) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const std::vector<std::size_t> cols{2, 0};
+  const Matrix sub = a.select_columns(cols);
+  EXPECT_DOUBLE_EQ(sub(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sub(1, 1), 4.0);
+  const std::vector<std::size_t> rows{1};
+  const Matrix rsub = a.select_rows(rows);
+  EXPECT_EQ(rsub.rows(), 1u);
+  EXPECT_DOUBLE_EQ(rsub(0, 2), 6.0);
+}
+
+TEST(Matrix, SelectOutOfRangeThrows) {
+  const Matrix a(2, 2);
+  const std::vector<std::size_t> bad{5};
+  EXPECT_THROW(a.select_columns(bad), InvalidArgument);
+  EXPECT_THROW(a.select_rows(bad), InvalidArgument);
+}
+
+TEST(Matrix, AppendColumn) {
+  Matrix a{{1, 2}, {3, 4}};
+  const std::vector<double> c{9, 8};
+  a.append_column(c);
+  EXPECT_EQ(a.cols(), 3u);
+  EXPECT_DOUBLE_EQ(a(0, 2), 9.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 3.0);
+}
+
+TEST(Matrix, AppendColumnToEmpty) {
+  Matrix a;
+  const std::vector<double> c{1, 2, 3};
+  a.append_column(c);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 1u);
+}
+
+TEST(Matrix, Norm2IsRobustToExtremeScales) {
+  const std::vector<double> tiny{1e-200, 1e-200};
+  EXPECT_NEAR(norm2(tiny), std::sqrt(2.0) * 1e-200, 1e-210);
+  const std::vector<double> huge{3e200, 4e200};
+  EXPECT_NEAR(norm2(huge), 5e200, 1e190);
+}
+
+TEST(Matrix, DotSizeMismatchThrows) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_THROW(dot(a, b), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- qr
+
+class QrProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrProperty, ReconstructionAndOrthogonality) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 131 + n));
+  const Matrix a = random_matrix(static_cast<std::size_t>(m), static_cast<std::size_t>(n), rng);
+  const QrDecomposition qr(a);
+  const Matrix q = qr.thin_q();
+  const Matrix r = qr.r();
+  // A = QR
+  EXPECT_LT(max_abs_diff(q * r, a), 1e-10);
+  // QᵀQ = I
+  EXPECT_LT(max_abs_diff(q.gram(), Matrix::identity(static_cast<std::size_t>(n))), 1e-12);
+  // R upper triangular
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) {
+      EXPECT_EQ(r(static_cast<std::size_t>(i), static_cast<std::size_t>(j)), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrProperty,
+                         ::testing::Values(std::pair{3, 1}, std::pair{4, 2},
+                                           std::pair{5, 5}, std::pair{10, 3},
+                                           std::pair{40, 8}, std::pair{100, 12},
+                                           std::pair{64, 20}));
+
+TEST(Qr, SolveRecoversExactSolution) {
+  Rng rng(10);
+  const Matrix a = random_matrix(12, 5, rng);
+  std::vector<double> x_true(5);
+  for (auto& x : x_true) x = rng.normal();
+  const auto b = a.multiply(x_true);
+  const auto x = QrDecomposition(a).solve(b);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(Qr, LeastSquaresResidualOrthogonalToColumnSpace) {
+  Rng rng(11);
+  const Matrix a = random_matrix(20, 4, rng);
+  std::vector<double> b(20);
+  for (auto& v : b) v = rng.normal();
+  const auto x = QrDecomposition(a).solve(b);
+  const auto fitted = a.multiply(x);
+  std::vector<double> resid(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    resid[i] = b[i] - fitted[i];
+  }
+  const auto at_r = a.multiply_transposed(resid);
+  for (double v : at_r) {
+    EXPECT_NEAR(v, 0.0, 1e-10);
+  }
+}
+
+TEST(Qr, DetectsRankDeficiency) {
+  Matrix a(6, 3);
+  Rng rng(12);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = rng.normal();
+    a(i, 1) = 2.0 * a(i, 0);  // exactly collinear
+    a(i, 2) = rng.normal();
+  }
+  const QrDecomposition qr(a);
+  EXPECT_FALSE(qr.full_rank());
+  const std::vector<double> b(6, 1.0);
+  EXPECT_THROW(qr.solve(b), NumericalError);
+  EXPECT_THROW(qr.r_inverse(), NumericalError);
+}
+
+TEST(Qr, RInverseTimesRIsIdentity) {
+  Rng rng(13);
+  const Matrix a = random_matrix(9, 4, rng);
+  const QrDecomposition qr(a);
+  EXPECT_LT(max_abs_diff(qr.r_inverse() * qr.r(), Matrix::identity(4)), 1e-10);
+}
+
+TEST(Qr, UnderdeterminedRejected) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(QrDecomposition{a}, InvalidArgument);
+}
+
+TEST(Qr, DiagonalConditionOrderOfMagnitude) {
+  Matrix a{{1, 0}, {0, 1e-6}, {0, 0}};
+  const QrDecomposition qr(a);
+  EXPECT_NEAR(qr.diagonal_condition(), 1e6, 1e1);
+}
+
+// ---------------------------------------------------------------- cholesky
+
+TEST(Cholesky, FactorizesAndSolvesSpd) {
+  Rng rng(14);
+  const Matrix g = random_matrix(10, 4, rng).gram() + Matrix::identity(4);
+  const CholeskyDecomposition chol(g);
+  EXPECT_LT(max_abs_diff(chol.l() * chol.l().transposed(), g), 1e-10);
+  std::vector<double> x_true{1, -2, 3, 0.5};
+  const auto b = g.multiply(x_true);
+  const auto x = chol.solve(b);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Cholesky, InverseIsTwoSided) {
+  Rng rng(15);
+  const Matrix g = random_matrix(8, 3, rng).gram() + Matrix::identity(3);
+  const Matrix inv = CholeskyDecomposition(g).inverse();
+  EXPECT_LT(max_abs_diff(g * inv, Matrix::identity(3)), 1e-9);
+  EXPECT_LT(max_abs_diff(inv * g, Matrix::identity(3)), 1e-9);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix bad{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(CholeskyDecomposition{bad}, NumericalError);
+}
+
+TEST(Cholesky, LogDeterminantMatchesKnown) {
+  const Matrix d{{4, 0}, {0, 9}};
+  EXPECT_NEAR(CholeskyDecomposition(d).log_determinant(), std::log(36.0), 1e-12);
+}
+
+// ---------------------------------------------------------------- svd
+
+class SvdProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdProperty, ReconstructionOrthogonalityOrdering) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + n));
+  const Matrix a = random_matrix(static_cast<std::size_t>(m), static_cast<std::size_t>(n), rng);
+  const Svd f = svd(a);
+  // Reconstruction U S Vᵀ = A.
+  Matrix us = f.u;
+  for (std::size_t j = 0; j < f.sigma.size(); ++j) {
+    for (std::size_t i = 0; i < us.rows(); ++i) {
+      us(i, j) *= f.sigma[j];
+    }
+  }
+  EXPECT_LT(max_abs_diff(us * f.v.transposed(), a), 1e-9);
+  // Orthonormal factors.
+  EXPECT_LT(max_abs_diff(f.u.gram(), Matrix::identity(static_cast<std::size_t>(n))), 1e-10);
+  EXPECT_LT(max_abs_diff(f.v.gram(), Matrix::identity(static_cast<std::size_t>(n))), 1e-10);
+  // Descending singular values, all non-negative.
+  for (std::size_t j = 1; j < f.sigma.size(); ++j) {
+    EXPECT_GE(f.sigma[j - 1], f.sigma[j]);
+  }
+  EXPECT_GE(f.sigma.back(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdProperty,
+                         ::testing::Values(std::pair{2, 2}, std::pair{5, 3},
+                                           std::pair{8, 8}, std::pair{20, 6},
+                                           std::pair{50, 10}));
+
+TEST(Svd, KnownDiagonalCase) {
+  const Matrix a{{3, 0}, {0, 4}, {0, 0}};
+  const Svd f = svd(a);
+  EXPECT_NEAR(f.sigma[0], 4.0, 1e-12);
+  EXPECT_NEAR(f.sigma[1], 3.0, 1e-12);
+}
+
+TEST(Svd, PinvSatisfiesMoorePenrose) {
+  Rng rng(16);
+  const Matrix a = random_matrix(8, 4, rng);
+  const Matrix p = pinv(a);
+  EXPECT_LT(max_abs_diff(a * p * a, a), 1e-9);
+  EXPECT_LT(max_abs_diff(p * a * p, p), 1e-9);
+  // (AP)ᵀ = AP and (PA)ᵀ = PA.
+  const Matrix ap = a * p;
+  const Matrix pa = p * a;
+  EXPECT_LT(max_abs_diff(ap.transposed(), ap), 1e-9);
+  EXPECT_LT(max_abs_diff(pa.transposed(), pa), 1e-9);
+}
+
+TEST(Svd, PinvHandlesWideMatrices) {
+  Rng rng(17);
+  const Matrix a = random_matrix(3, 6, rng);
+  const Matrix p = pinv(a);
+  EXPECT_EQ(p.rows(), 6u);
+  EXPECT_EQ(p.cols(), 3u);
+  EXPECT_LT(max_abs_diff(a * p * a, a), 1e-9);
+}
+
+TEST(Svd, PinvOfRankDeficientIgnoresNullDirections) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * a(i, 0);
+  }
+  const Matrix p = pinv(a);
+  EXPECT_LT(max_abs_diff(a * p * a, a), 1e-9);
+}
+
+TEST(Svd, ConditionNumberOfIdentityIsOne) {
+  EXPECT_NEAR(condition_number(Matrix::identity(5)), 1.0, 1e-12);
+}
+
+TEST(Svd, ConditionNumberOfSingularIsInf) {
+  Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 0;  // second column zero
+  EXPECT_TRUE(std::isinf(condition_number(a)));
+}
+
+// ---------------------------------------------------------------- lstsq
+
+TEST(Lstsq, FullRankUsesQrAndReportsResidual) {
+  Rng rng(18);
+  const Matrix a = random_matrix(15, 4, rng);
+  std::vector<double> b(15);
+  for (auto& v : b) v = rng.normal();
+  const LstsqResult res = lstsq(a, b);
+  EXPECT_TRUE(res.full_rank);
+  EXPECT_EQ(res.x.size(), 4u);
+  EXPECT_NEAR(res.residual_norm, norm2(res.residual), 1e-12);
+}
+
+TEST(Lstsq, RankDeficientFallsBackToPinv) {
+  Matrix a(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 3.0 * a(i, 0);
+  }
+  std::vector<double> b(6, 1.0);
+  const LstsqResult res = lstsq(a, b);
+  EXPECT_FALSE(res.full_rank);
+  // Minimum-norm solution still minimizes the residual.
+  EXPECT_EQ(res.x.size(), 2u);
+}
+
+TEST(Lstsq, SizeMismatchThrows) {
+  const Matrix a(4, 2);
+  const std::vector<double> b(5, 0.0);
+  EXPECT_THROW(lstsq(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pwx::la

@@ -1,0 +1,471 @@
+// Tests for OLS regression, robust covariance estimators, special functions,
+// VIF, and diagnostics. Reference values are either analytic or computed via
+// an independent normal-equations path inside the test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/cholesky.hpp"
+#include "regress/diagnostics.hpp"
+#include "regress/ols.hpp"
+#include "regress/special.hpp"
+#include "regress/vif.hpp"
+
+namespace pwx::regress {
+namespace {
+
+la::Matrix random_design(std::size_t n, std::size_t k, Rng& rng) {
+  la::Matrix x(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      x(i, j) = rng.normal();
+    }
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------- special
+
+TEST(Special, IncompleteBetaKnownValues) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.3), 0.3, 1e-12);
+  // I_x(2, 2) = x²(3-2x).
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.25), 0.25 * 0.25 * 2.5, 1e-12);
+  // Boundaries.
+  EXPECT_DOUBLE_EQ(incomplete_beta(3, 4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(3, 4, 1.0), 1.0);
+  // Symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(incomplete_beta(2.5, 4.0, 0.3),
+              1.0 - incomplete_beta(4.0, 2.5, 0.7), 1e-12);
+}
+
+TEST(Special, IncompleteGammaKnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  EXPECT_NEAR(incomplete_gamma_p(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(incomplete_gamma_p(0.5, 1.0), std::erf(1.0), 1e-10);
+  EXPECT_DOUBLE_EQ(incomplete_gamma_p(3.0, 0.0), 0.0);
+}
+
+TEST(Special, StudentTTwoSidedKnownValues) {
+  // t distribution with 1 df (Cauchy): P(|T| > 1) = 0.5.
+  EXPECT_NEAR(student_t_two_sided_p(1.0, 1.0), 0.5, 1e-10);
+  // Large df approximates normal: P(|Z| > 1.959964) ≈ 0.05.
+  EXPECT_NEAR(student_t_two_sided_p(1.959964, 1e6), 0.05, 1e-4);
+  // t = 0 gives p = 1.
+  EXPECT_NEAR(student_t_two_sided_p(0.0, 10.0), 1.0, 1e-12);
+}
+
+TEST(Special, ChiSquareSurvivalKnownValues) {
+  // chi²(2) survival = e^{-x/2}.
+  EXPECT_NEAR(chi_square_sf(3.0, 2.0), std::exp(-1.5), 1e-12);
+  EXPECT_DOUBLE_EQ(chi_square_sf(-1.0, 4.0), 1.0);
+}
+
+TEST(Special, FDistributionConsistentWithBeta) {
+  // F(1, d) = T(d)²: P(F > t²) = P(|T| > t).
+  const double t = 1.7;
+  const double df = 9.0;
+  EXPECT_NEAR(f_distribution_sf(t * t, 1.0, df), student_t_two_sided_p(t, df), 1e-10);
+}
+
+TEST(Special, TQuantileInvertsCdf) {
+  for (double p : {0.6, 0.9, 0.975, 0.995}) {
+    const double q = student_t_quantile(p, 7.0);
+    const double two_sided = student_t_two_sided_p(q, 7.0);
+    EXPECT_NEAR(1.0 - two_sided / 2.0, p, 1e-6) << p;
+  }
+  // Known value: t_{0.975, 10} = 2.228139.
+  EXPECT_NEAR(student_t_quantile(0.975, 10.0), 2.228139, 1e-4);
+}
+
+// ---------------------------------------------------------------- ols
+
+TEST(Ols, ExactFitRecoversCoefficients) {
+  la::Matrix x{{1, 2}, {2, 1}, {3, 5}, {4, 2}, {5, 9}, {6, 4}};
+  std::vector<double> y(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    y[i] = 7.0 - 2.0 * x(i, 0) + 0.5 * x(i, 1);
+  }
+  const OlsResult res = fit_ols(x, y, {});
+  EXPECT_NEAR(res.beta[0], 7.0, 1e-10);
+  EXPECT_NEAR(res.beta[1], -2.0, 1e-10);
+  EXPECT_NEAR(res.beta[2], 0.5, 1e-10);
+  EXPECT_NEAR(res.r_squared, 1.0, 1e-12);
+}
+
+TEST(Ols, MatchesNormalEquationsOnNoisyData) {
+  Rng rng(101);
+  const std::size_t n = 60;
+  la::Matrix x = random_design(n, 3, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = 1.0 + 2.0 * x(i, 0) - x(i, 1) + 0.3 * x(i, 2) + rng.normal(0, 0.5);
+  }
+  const OlsResult res = fit_ols(x, y, {});
+
+  // Independent path: solve (XᵀX) b = Xᵀy with the intercept column added.
+  la::Matrix xi(n, 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    xi(i, 0) = 1.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      xi(i, j + 1) = x(i, j);
+    }
+  }
+  const la::Matrix g = xi.gram();
+  const auto xty = xi.multiply_transposed(y);
+  const auto beta_ref = la::CholeskyDecomposition(g).solve(xty);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(res.beta[j], beta_ref[j], 1e-8);
+  }
+}
+
+TEST(Ols, RSquaredAndAdjustedRelationship) {
+  Rng rng(102);
+  const std::size_t n = 40;
+  la::Matrix x = random_design(n, 2, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = x(i, 0) + rng.normal(0, 1.0);
+  }
+  const OlsResult res = fit_ols(x, y, {});
+  EXPECT_GT(res.r_squared, 0.0);
+  EXPECT_LT(res.r_squared, 1.0);
+  // Adj R² = 1 - (1-R²)(n-1)/(n-k).
+  const double expect_adj =
+      1.0 - (1.0 - res.r_squared) * (n - 1.0) / (n - 3.0);
+  EXPECT_NEAR(res.adj_r_squared, expect_adj, 1e-12);
+}
+
+TEST(Ols, ResidualsSumToZeroWithIntercept) {
+  Rng rng(103);
+  la::Matrix x = random_design(30, 2, rng);
+  std::vector<double> y(30);
+  for (auto& v : y) v = rng.normal(5, 2);
+  const OlsResult res = fit_ols(x, y, {});
+  double sum = 0;
+  for (double e : res.residuals) sum += e;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(Ols, LeverageSumsToParameterCount) {
+  Rng rng(104);
+  la::Matrix x = random_design(25, 3, rng);
+  std::vector<double> y(25);
+  for (auto& v : y) v = rng.normal();
+  const OlsResult res = fit_ols(x, y, {});
+  double trace = 0;
+  for (double h : res.leverage) {
+    trace += h;
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0 + 1e-12);
+  }
+  EXPECT_NEAR(trace, 4.0, 1e-9);  // k = 3 + intercept
+}
+
+TEST(Ols, StandardErrorsMatchClassicalFormula) {
+  Rng rng(105);
+  const std::size_t n = 50;
+  la::Matrix x = random_design(n, 2, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = 2.0 * x(i, 0) + rng.normal(0, 1.0);
+  }
+  const OlsResult res = fit_ols(x, y, {});
+  // Independent: sigma² (XᵀX)⁻¹ via Cholesky.
+  la::Matrix xi(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    xi(i, 0) = 1.0;
+    xi(i, 1) = x(i, 0);
+    xi(i, 2) = x(i, 1);
+  }
+  const la::Matrix cov_ref = la::CholeskyDecomposition(xi.gram()).inverse();
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(res.standard_error[j], std::sqrt(res.sigma2 * cov_ref(j, j)), 1e-8);
+  }
+}
+
+TEST(Ols, PValueSmallForStrongEffectLargeForNoise) {
+  Rng rng(106);
+  const std::size_t n = 80;
+  la::Matrix x = random_design(n, 2, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = 5.0 * x(i, 0) + rng.normal(0, 1.0);  // column 1 is pure noise
+  }
+  const OlsResult res = fit_ols(x, y, {});
+  EXPECT_LT(res.p_value[1], 1e-10);
+  EXPECT_GT(res.p_value[2], 0.01);
+}
+
+TEST(Ols, Hc0ToHc3Ordering) {
+  // Under heteroscedasticity with high-leverage points, the HC estimators
+  // are ordered HC0 <= HC1, HC2 <= HC3 on the diagonal.
+  Rng rng(107);
+  const std::size_t n = 40;
+  la::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i) / n * 10.0;
+    y[i] = 1.0 + 0.5 * x(i, 0) + rng.normal(0, 0.1 + 0.3 * x(i, 0));
+  }
+  OlsOptions o;
+  o.cov_type = CovarianceType::HC0;
+  const double se0 = fit_ols(x, y, o).standard_error[1];
+  o.cov_type = CovarianceType::HC1;
+  const double se1 = fit_ols(x, y, o).standard_error[1];
+  o.cov_type = CovarianceType::HC2;
+  const double se2 = fit_ols(x, y, o).standard_error[1];
+  o.cov_type = CovarianceType::HC3;
+  const double se3 = fit_ols(x, y, o).standard_error[1];
+  EXPECT_LT(se0, se1);
+  EXPECT_LT(se0, se2);
+  EXPECT_LT(se2, se3);
+}
+
+TEST(Ols, Hc1IsHc0TimesDofCorrection) {
+  Rng rng(108);
+  const std::size_t n = 30;
+  la::Matrix x = random_design(n, 2, rng);
+  std::vector<double> y(n);
+  for (auto& v : y) v = rng.normal();
+  OlsOptions o;
+  o.cov_type = CovarianceType::HC0;
+  const OlsResult r0 = fit_ols(x, y, o);
+  o.cov_type = CovarianceType::HC1;
+  const OlsResult r1 = fit_ols(x, y, o);
+  const double factor = static_cast<double>(n) / (n - 3.0);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(r1.covariance(j, j), factor * r0.covariance(j, j), 1e-12);
+  }
+}
+
+TEST(Ols, RobustSeConvergeToClassicalUnderHomoscedasticity) {
+  // With iid errors and many observations, HC3 ≈ classical.
+  Rng rng(109);
+  const std::size_t n = 4000;
+  la::Matrix x = random_design(n, 1, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = 3.0 * x(i, 0) + rng.normal(0, 1.0);
+  }
+  OlsOptions classical;
+  OlsOptions robust;
+  robust.cov_type = CovarianceType::HC3;
+  const double se_c = fit_ols(x, y, classical).standard_error[1];
+  const double se_r = fit_ols(x, y, robust).standard_error[1];
+  EXPECT_NEAR(se_r / se_c, 1.0, 0.05);
+}
+
+TEST(Ols, CoefficientCovarianceIsSymmetric) {
+  Rng rng(110);
+  la::Matrix x = random_design(25, 3, rng);
+  std::vector<double> y(25);
+  for (auto& v : y) v = rng.normal();
+  OlsOptions o;
+  o.cov_type = CovarianceType::HC3;
+  const OlsResult res = fit_ols(x, y, o);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(res.covariance(i, j), res.covariance(j, i), 1e-12);
+    }
+  }
+}
+
+TEST(Ols, NoInterceptOption) {
+  la::Matrix x{{1}, {2}, {3}, {4}};
+  std::vector<double> y{2, 4, 6, 8};
+  OlsOptions o;
+  o.add_intercept = false;
+  const OlsResult res = fit_ols(x, y, o);
+  ASSERT_EQ(res.beta.size(), 1u);
+  EXPECT_NEAR(res.beta[0], 2.0, 1e-12);
+}
+
+TEST(Ols, PredictAppliesIntercept) {
+  la::Matrix x{{0.0}, {1.0}, {2.0}, {3.0}};
+  std::vector<double> y{1, 3, 5, 7};  // y = 1 + 2x
+  const OlsResult res = fit_ols(x, y, {});
+  la::Matrix nx{{10.0}};
+  EXPECT_NEAR(res.predict(nx)[0], 21.0, 1e-9);
+}
+
+TEST(Ols, ConfidenceIntervalCoversTruthMostOfTheTime) {
+  // 95% CI should contain the true slope in roughly 95 of 100 replicates.
+  int covered = 0;
+  for (int rep = 0; rep < 100; ++rep) {
+    Rng rng(static_cast<std::uint64_t>(rep) + 1000);
+    const std::size_t n = 50;
+    la::Matrix x = random_design(n, 1, rng);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = 1.5 * x(i, 0) + rng.normal(0, 1.0);
+    }
+    const OlsResult res = fit_ols(x, y, {});
+    const auto [lo, hi] = res.confidence_interval(1, 0.05);
+    covered += (lo <= 1.5 && 1.5 <= hi);
+  }
+  EXPECT_GE(covered, 85);
+  EXPECT_LE(covered, 100);
+}
+
+TEST(Ols, RankDeficientDesignThrows) {
+  la::Matrix x(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = 2.0 * x(i, 0);
+  }
+  std::vector<double> y(10, 1.0);
+  EXPECT_THROW(fit_ols(x, y, {}), NumericalError);
+}
+
+TEST(Ols, TooFewObservationsThrow) {
+  la::Matrix x(3, 3);
+  x(0, 0) = 1;
+  x(1, 1) = 1;
+  x(2, 2) = 1;
+  std::vector<double> y(3, 1.0);
+  EXPECT_THROW(fit_ols(x, y, {}), InvalidArgument);  // n must exceed k+1
+}
+
+TEST(Ols, SummaryMentionsCovTypeAndNames) {
+  la::Matrix x{{0.0}, {1.0}, {2.0}, {3.0}, {4.0}};
+  std::vector<double> y{1, 3, 5, 7, 9.1};
+  OlsOptions o;
+  o.cov_type = CovarianceType::HC3;
+  const OlsResult res = fit_ols(x, y, o);
+  const std::string s = res.summary({"slope"});
+  EXPECT_NE(s.find("HC3"), std::string::npos);
+  EXPECT_NE(s.find("slope"), std::string::npos);
+  EXPECT_NE(s.find("const"), std::string::npos);
+}
+
+TEST(Ols, FStatisticSignificantForRealEffect) {
+  Rng rng(111);
+  const std::size_t n = 60;
+  la::Matrix x = random_design(n, 2, rng);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = 3.0 * x(i, 0) + rng.normal(0, 0.5);
+  }
+  const OlsResult res = fit_ols(x, y, {});
+  EXPECT_GT(res.f_statistic, 10.0);
+  EXPECT_LT(res.f_p_value, 1e-6);
+}
+
+// ---------------------------------------------------------------- vif
+
+TEST(Vif, OrthogonalPredictorsNearOne) {
+  Rng rng(201);
+  const la::Matrix x = random_design(500, 3, rng);
+  for (double v : vif_all(x)) {
+    EXPECT_NEAR(v, 1.0, 0.1);
+  }
+}
+
+TEST(Vif, CorrelatedPairInflates) {
+  Rng rng(202);
+  const std::size_t n = 300;
+  la::Matrix x(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = x(i, 0) + rng.normal(0, 0.1);  // rho ~ 0.995
+  }
+  const double v = vif_for_column(x, 0);
+  // VIF = 1/(1-R²) with R² ≈ 0.99 → VIF ≈ 100.
+  EXPECT_GT(v, 30.0);
+}
+
+TEST(Vif, PerfectCollinearityIsInfinite) {
+  la::Matrix x(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i) + 1.0;
+    x(i, 1) = 3.0 * x(i, 0);
+  }
+  EXPECT_TRUE(std::isinf(vif_for_column(x, 0)));
+}
+
+TEST(Vif, MeanVifAveragesColumns) {
+  Rng rng(203);
+  const la::Matrix x = random_design(400, 4, rng);
+  const auto all = vif_all(x);
+  double sum = 0;
+  for (double v : all) sum += v;
+  EXPECT_NEAR(mean_vif(x), sum / 4.0, 1e-12);
+}
+
+TEST(Vif, SingleColumnRejected) {
+  const la::Matrix x(10, 1);
+  EXPECT_THROW(vif_for_column(x, 0), InvalidArgument);
+}
+
+TEST(Vif, ScaleInvariance) {
+  Rng rng(204);
+  la::Matrix x = random_design(200, 3, rng);
+  la::Matrix scaled = x;
+  for (std::size_t i = 0; i < scaled.rows(); ++i) {
+    scaled(i, 1) *= 1e6;
+  }
+  EXPECT_NEAR(vif_for_column(x, 1), vif_for_column(scaled, 1), 1e-6);
+}
+
+// ---------------------------------------------------------------- diagnostics
+
+TEST(Diagnostics, BreuschPaganDetectsHeteroscedasticity) {
+  Rng rng(301);
+  const std::size_t n = 400;
+  la::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(0, 10);
+    y[i] = 2.0 * x(i, 0) + rng.normal(0, 0.2 + 0.5 * x(i, 0));
+  }
+  const OlsResult fit = fit_ols(x, y, {});
+  const auto test = breusch_pagan(x, fit.residuals);
+  EXPECT_LT(test.p_value, 0.01);
+}
+
+TEST(Diagnostics, BreuschPaganAcceptsHomoscedastic) {
+  Rng rng(302);
+  const std::size_t n = 400;
+  la::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(0, 10);
+    y[i] = 2.0 * x(i, 0) + rng.normal(0, 1.0);
+  }
+  const OlsResult fit = fit_ols(x, y, {});
+  const auto test = breusch_pagan(x, fit.residuals);
+  EXPECT_GT(test.p_value, 0.01);
+}
+
+TEST(Diagnostics, VarianceRatioGrowsWithFittedValues) {
+  Rng rng(303);
+  const std::size_t n = 300;
+  std::vector<double> fitted(n);
+  std::vector<double> resid(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fitted[i] = static_cast<double>(i);
+    resid[i] = rng.normal(0, 0.1 + 0.01 * fitted[i]);
+  }
+  EXPECT_GT(variance_ratio_by_fitted(fitted, resid), 3.0);
+}
+
+TEST(Diagnostics, VarianceRatioNearOneForConstantNoise) {
+  Rng rng(304);
+  const std::size_t n = 3000;
+  std::vector<double> fitted(n);
+  std::vector<double> resid(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fitted[i] = static_cast<double>(i);
+    resid[i] = rng.normal(0, 1.0);
+  }
+  EXPECT_NEAR(variance_ratio_by_fitted(fitted, resid), 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace pwx::regress

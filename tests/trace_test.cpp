@@ -1,0 +1,325 @@
+// Tests for the OTF2-lite trace layer: records, serialization, metric
+// plugins, and phase-profile post-processing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+#include "trace/phase_profile.hpp"
+#include "trace/plugins.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace.hpp"
+#include "workloads/registry.hpp"
+
+namespace pwx::trace {
+namespace {
+
+Trace make_small_trace() {
+  Trace t;
+  t.set_attribute("workload", "unit");
+  t.set_attribute("frequency_ghz", 2.4);
+  t.set_attribute("threads", 4.0);
+  const auto power = t.define_metric({"power", "W", MetricMode::AsyncAverage});
+  const auto volt = t.define_metric({"core_voltage", "V", MetricMode::AsyncInstant});
+  const auto ctr =
+      t.define_metric({"PAPI_TOT_CYC", "events", MetricMode::CounterIncrement});
+  t.append(RegionEnter{0, "phase_a"});
+  t.append(MetricEvent{1000000000, power, 100.0});
+  t.append(MetricEvent{1000000000, volt, 0.9});
+  t.append(MetricEvent{1000000000, ctr, 5.0e9});
+  t.append(MetricEvent{2000000000, power, 110.0});
+  t.append(MetricEvent{2000000000, volt, 0.9});
+  t.append(MetricEvent{2000000000, ctr, 5.2e9});
+  t.append(RegionExit{2000000000, "phase_a"});
+  return t;
+}
+
+// ---------------------------------------------------------------- trace core
+
+TEST(Trace, MetricDefinitionAndLookup) {
+  Trace t;
+  const auto idx = t.define_metric({"power", "W", MetricMode::AsyncAverage});
+  EXPECT_EQ(t.metric_index("power"), idx);
+  EXPECT_TRUE(t.has_metric("power"));
+  EXPECT_FALSE(t.has_metric("nope"));
+  EXPECT_THROW(t.metric_index("nope"), InvalidArgument);
+}
+
+TEST(Trace, DuplicateMetricNameRejected) {
+  Trace t;
+  t.define_metric({"power", "W", MetricMode::AsyncAverage});
+  EXPECT_THROW(t.define_metric({"power", "W", MetricMode::AsyncAverage}),
+               InvalidArgument);
+}
+
+TEST(Trace, ChronologicalOrderEnforced) {
+  Trace t;
+  t.append(RegionEnter{100, "x"});
+  EXPECT_THROW(t.append(RegionExit{50, "x"}), InvalidArgument);
+}
+
+TEST(Trace, MetricEventMustReferenceDefinedMetric) {
+  Trace t;
+  EXPECT_THROW(t.append(MetricEvent{0, 3, 1.0}), InvalidArgument);
+}
+
+TEST(Trace, AttributeConversions) {
+  Trace t;
+  t.set_attribute("threads", 24.0);
+  t.set_attribute("name", "compute");
+  EXPECT_DOUBLE_EQ(t.attribute_as_double("threads"), 24.0);
+  EXPECT_EQ(t.attribute("name"), "compute");
+  EXPECT_THROW(t.attribute("missing"), InvalidArgument);
+  EXPECT_THROW(t.attribute_as_double("name"), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- serialization
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const Trace original = make_small_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  const Trace loaded = read_trace(buffer);
+
+  EXPECT_EQ(loaded.attributes(), original.attributes());
+  ASSERT_EQ(loaded.metrics().size(), original.metrics().size());
+  for (std::size_t i = 0; i < loaded.metrics().size(); ++i) {
+    EXPECT_EQ(loaded.metrics()[i].name, original.metrics()[i].name);
+    EXPECT_EQ(loaded.metrics()[i].unit, original.metrics()[i].unit);
+    EXPECT_EQ(loaded.metrics()[i].mode, original.metrics()[i].mode);
+  }
+  ASSERT_EQ(loaded.events().size(), original.events().size());
+  for (std::size_t i = 0; i < loaded.events().size(); ++i) {
+    EXPECT_EQ(Trace::event_time(loaded.events()[i]),
+              Trace::event_time(original.events()[i]));
+    EXPECT_EQ(loaded.events()[i].index(), original.events()[i].index());
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "pwx_trace_test.otf2l";
+  const Trace original = make_small_trace();
+  write_trace_file(original, path);
+  const Trace loaded = read_trace_file(path);
+  EXPECT_EQ(loaded.events().size(), original.events().size());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOTATRACE-----";
+  EXPECT_THROW(read_trace(buffer), IoError);
+}
+
+TEST(Serialize, TruncatedStreamRejected) {
+  const Trace original = make_small_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_trace(truncated), IoError);
+}
+
+TEST(Serialize, CorruptedEventKindRejected) {
+  const Trace original = make_small_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  std::string data = buffer.str();
+  // The final event is RegionExit{t, "phase_a"}: kind(1) + time(8) +
+  // length(4) + 7 characters = 20 bytes; flip its kind byte to garbage.
+  data[data.size() - 20] = 99;
+  std::stringstream corrupted(data);
+  EXPECT_THROW(read_trace(corrupted), IoError);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path/file.otf2l"), IoError);
+}
+
+// ---------------------------------------------------------------- plugins
+
+sim::RunResult quick_run(const char* workload_name = "compute") {
+  const sim::Engine engine = sim::Engine::haswell_ep();
+  sim::RunConfig rc;
+  rc.interval_s = 0.25;
+  rc.duration_scale = 0.1;
+  rc.seed = 3;
+  const auto workload = workloads::find_workload(workload_name);
+  return engine.run(*workload, rc);
+}
+
+TEST(Plugins, StandardTraceHasPowerVoltageAndCounters) {
+  const auto run = quick_run();
+  const Trace t = build_standard_trace(run, {pmc::Preset::TOT_CYC, pmc::Preset::PRF_DM});
+  EXPECT_TRUE(t.has_metric("power"));
+  EXPECT_TRUE(t.has_metric("core_voltage"));
+  EXPECT_TRUE(t.has_metric("PAPI_TOT_CYC"));
+  EXPECT_TRUE(t.has_metric("PAPI_PRF_DM"));
+  EXPECT_FALSE(t.has_metric("PAPI_TLB_IM"));
+  EXPECT_EQ(t.attribute("workload"), "compute");
+  EXPECT_NEAR(t.attribute_as_double("frequency_ghz"), 2.4, 1e-9);
+}
+
+TEST(Plugins, EventCountMatchesIntervalsAndMetrics) {
+  const auto run = quick_run();
+  const Trace t = build_standard_trace(run, {pmc::Preset::TOT_CYC});
+  // Per interval: power + voltage + 1 counter = 3 metric events; plus one
+  // region enter and exit.
+  EXPECT_EQ(t.events().size(), run.intervals.size() * 3 + 2);
+}
+
+TEST(Plugins, ApapiMetricNameUsesPapiPrefix) {
+  EXPECT_EQ(ApapiPlugin::metric_name(pmc::Preset::BR_MSP), "PAPI_BR_MSP");
+}
+
+TEST(Plugins, ApapiRejectsEmptyEventSet) {
+  EXPECT_THROW(ApapiPlugin({}), InvalidArgument);
+}
+
+TEST(Plugins, MultiPhaseRunProducesMultipleRegions) {
+  const auto run = quick_run("md");
+  const Trace t = build_standard_trace(run, {pmc::Preset::TOT_CYC});
+  std::size_t enters = 0;
+  for (const Event& e : t.events()) {
+    enters += std::holds_alternative<RegionEnter>(e);
+  }
+  EXPECT_EQ(enters, 2u);  // md has two phases
+}
+
+// ---------------------------------------------------------------- phase profiles
+
+TEST(PhaseProfile, AveragesAreTimeWeighted) {
+  const Trace t = make_small_trace();
+  const auto profiles = build_phase_profiles(t);
+  ASSERT_EQ(profiles.size(), 1u);
+  const PhaseProfile& p = profiles[0];
+  EXPECT_EQ(p.workload, "unit");
+  EXPECT_EQ(p.phase, "phase_a");
+  EXPECT_DOUBLE_EQ(p.elapsed_s, 2.0);
+  EXPECT_NEAR(p.avg_power_watts, 105.0, 1e-9);  // equal-length intervals
+  EXPECT_NEAR(p.avg_voltage, 0.9, 1e-12);
+  EXPECT_NEAR(p.rate(pmc::Preset::TOT_CYC), (5.0e9 + 5.2e9) / 2.0, 1.0);
+  EXPECT_NEAR(p.rate_per_cycle(pmc::Preset::TOT_CYC), 5.1e9 / 2.4e9, 1e-6);
+}
+
+TEST(PhaseProfile, FromSimulatedRunMatchesIntervalAverages) {
+  const auto run = quick_run();
+  const Trace t = build_standard_trace(run, {pmc::Preset::TOT_INS});
+  const auto profiles = build_phase_profiles(t);
+  ASSERT_EQ(profiles.size(), 1u);
+  double mean_p = 0;
+  for (const auto& iv : run.intervals) {
+    mean_p += iv.measured_power_watts;
+  }
+  mean_p /= static_cast<double>(run.intervals.size());
+  EXPECT_NEAR(profiles[0].avg_power_watts, mean_p, 1e-6);
+  EXPECT_EQ(profiles[0].threads, run.config.threads);
+}
+
+TEST(PhaseProfile, MissingCounterThrows) {
+  const Trace t = make_small_trace();
+  const auto profiles = build_phase_profiles(t);
+  EXPECT_THROW(profiles[0].rate(pmc::Preset::PRF_DM), InvalidArgument);
+  EXPECT_FALSE(profiles[0].has(pmc::Preset::PRF_DM));
+  EXPECT_TRUE(profiles[0].has(pmc::Preset::TOT_CYC));
+}
+
+TEST(PhaseProfile, MultiPhaseTraceYieldsRowPerPhase) {
+  const auto run = quick_run("md");
+  const Trace t = build_standard_trace(run, {pmc::Preset::TOT_CYC});
+  const auto profiles = build_phase_profiles(t);
+  EXPECT_EQ(profiles.size(), 2u);
+}
+
+TEST(PhaseProfile, MergeAveragesPowerAndUnionsCounters) {
+  PhaseProfile a;
+  a.workload = "w";
+  a.phase = "p";
+  a.frequency_ghz = 2.4;
+  a.threads = 4;
+  a.elapsed_s = 1.0;
+  a.avg_power_watts = 100.0;
+  a.avg_voltage = 0.9;
+  a.counter_rates[pmc::Preset::TOT_CYC] = 1e9;
+
+  PhaseProfile b = a;
+  b.elapsed_s = 3.0;
+  b.avg_power_watts = 120.0;
+  b.counter_rates.clear();
+  b.counter_rates[pmc::Preset::PRF_DM] = 5e6;
+
+  const PhaseProfile merged = merge_profiles({a, b});
+  EXPECT_DOUBLE_EQ(merged.elapsed_s, 4.0);
+  EXPECT_NEAR(merged.avg_power_watts, (100.0 * 1 + 120.0 * 3) / 4.0, 1e-9);
+  // Counters recorded in only one run carry through with their own weight.
+  EXPECT_DOUBLE_EQ(merged.rate(pmc::Preset::TOT_CYC), 1e9);
+  EXPECT_DOUBLE_EQ(merged.rate(pmc::Preset::PRF_DM), 5e6);
+  EXPECT_EQ(merged.runs_merged, 2u);
+}
+
+TEST(PhaseProfile, MergeRejectsMismatchedKeys) {
+  PhaseProfile a;
+  a.workload = "w";
+  a.phase = "p";
+  a.frequency_ghz = 2.4;
+  a.threads = 4;
+  a.elapsed_s = 1.0;
+  PhaseProfile b = a;
+  b.threads = 8;
+  EXPECT_THROW(merge_profiles({a, b}), InvalidArgument);
+  b = a;
+  b.phase = "q";
+  EXPECT_THROW(merge_profiles({a, b}), InvalidArgument);
+}
+
+TEST(PhaseProfile, MergeOfSingleProfileIsIdentity) {
+  PhaseProfile a;
+  a.workload = "w";
+  a.phase = "p";
+  a.frequency_ghz = 2.0;
+  a.threads = 2;
+  a.elapsed_s = 1.0;
+  a.avg_power_watts = 50.0;
+  const PhaseProfile merged = merge_profiles({a});
+  EXPECT_DOUBLE_EQ(merged.avg_power_watts, 50.0);
+  EXPECT_EQ(merged.runs_merged, 1u);
+}
+
+TEST(PhaseProfile, RepeatedRegionInstancesArePooled) {
+  Trace t;
+  t.set_attribute("workload", "w");
+  t.set_attribute("frequency_ghz", 2.0);
+  t.set_attribute("threads", 1.0);
+  const auto power = t.define_metric({"power", "W", MetricMode::AsyncAverage});
+  t.append(RegionEnter{0, "a"});
+  t.append(MetricEvent{1000000000, power, 10.0});
+  t.append(RegionExit{1000000000, "a"});
+  t.append(RegionEnter{1000000000, "b"});
+  t.append(MetricEvent{2000000000, power, 20.0});
+  t.append(RegionExit{2000000000, "b"});
+  t.append(RegionEnter{2000000000, "a"});
+  t.append(MetricEvent{3000000000, power, 30.0});
+  t.append(RegionExit{3000000000, "a"});
+  const auto profiles = build_phase_profiles(t);
+  ASSERT_EQ(profiles.size(), 2u);
+  // Profiles sorted by name: "a" then "b".
+  EXPECT_DOUBLE_EQ(profiles[0].elapsed_s, 2.0);
+  EXPECT_NEAR(profiles[0].avg_power_watts, 20.0, 1e-9);  // (10+30)/2
+  EXPECT_DOUBLE_EQ(profiles[1].elapsed_s, 1.0);
+}
+
+TEST(PhaseProfile, UnbalancedRegionsRejected) {
+  Trace t;
+  t.set_attribute("workload", "w");
+  t.set_attribute("frequency_ghz", 2.0);
+  t.set_attribute("threads", 1.0);
+  t.append(RegionEnter{0, "a"});
+  EXPECT_THROW(build_phase_profiles(t), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pwx::trace

@@ -1,0 +1,109 @@
+// pwx-trace-dump — inspect OTF2-lite trace files.
+//
+// Usage:
+//   pwx-trace-dump <trace.otf2l>                 # summary + phase profiles
+//   pwx-trace-dump <trace.otf2l> --events [N]    # raw event stream (first N)
+//   pwx-trace-dump <trace.otf2l> --csv           # metric samples as CSV
+//
+// The post-processing path is exactly the library's phase-profile builder,
+// so what this tool prints is what the modeling pipeline consumes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "trace/phase_profile.hpp"
+#include "trace/serialize.hpp"
+
+namespace {
+
+using namespace pwx;
+
+int print_summary(const trace::Trace& t) {
+  std::puts("attributes:");
+  for (const auto& [key, value] : t.attributes()) {
+    std::printf("  %-16s %s\n", key.c_str(), value.c_str());
+  }
+  std::printf("\nmetrics (%zu):\n", t.metrics().size());
+  for (const trace::MetricDefinition& m : t.metrics()) {
+    const char* mode = m.mode == trace::MetricMode::AsyncAverage    ? "async-avg"
+                       : m.mode == trace::MetricMode::AsyncInstant  ? "async-inst"
+                                                                    : "counter";
+    std::printf("  %-24s [%s] %s\n", m.name.c_str(), m.unit.c_str(), mode);
+  }
+  std::printf("\nevents: %zu\n\n", t.events().size());
+
+  std::puts("phase profiles:");
+  TablePrinter table({"phase", "elapsed [s]", "avg power [W]", "avg V", "#counters"});
+  for (const trace::PhaseProfile& p : trace::build_phase_profiles(t)) {
+    table.row({p.phase, format_double(p.elapsed_s, 2),
+               format_double(p.avg_power_watts, 1), format_double(p.avg_voltage, 3),
+               std::to_string(p.counter_rates.size())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int print_events(const trace::Trace& t, std::size_t limit) {
+  std::size_t n = 0;
+  for (const trace::Event& event : t.events()) {
+    if (n++ >= limit) {
+      std::printf("... (%zu more events)\n", t.events().size() - limit);
+      break;
+    }
+    if (const auto* enter = std::get_if<trace::RegionEnter>(&event)) {
+      std::printf("%12.6f  ENTER  %s\n", units::ns_to_s(enter->time_ns),
+                  enter->region.c_str());
+    } else if (const auto* exit = std::get_if<trace::RegionExit>(&event)) {
+      std::printf("%12.6f  LEAVE  %s\n", units::ns_to_s(exit->time_ns),
+                  exit->region.c_str());
+    } else {
+      const auto& metric = std::get<trace::MetricEvent>(event);
+      std::printf("%12.6f  METRIC %-24s %g\n", units::ns_to_s(metric.time_ns),
+                  t.metrics()[metric.metric].name.c_str(), metric.value);
+    }
+  }
+  return 0;
+}
+
+int print_csv(const trace::Trace& t) {
+  CsvWriter csv(std::cout);
+  csv.header({"time_s", "metric", "value"});
+  for (const trace::Event& event : t.events()) {
+    if (const auto* metric = std::get_if<trace::MetricEvent>(&event)) {
+      csv.row({format_double(units::ns_to_s(metric->time_ns), 6),
+               t.metrics()[metric->metric].name,
+               format_double(metric->value, 6)});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.otf2l> [--events [N] | --csv]\n", argv[0]);
+    return 2;
+  }
+  try {
+    const pwx::trace::Trace t = pwx::trace::read_trace_file(argv[1]);
+    if (argc >= 3 && std::strcmp(argv[2], "--events") == 0) {
+      const std::size_t limit =
+          argc >= 4 ? std::strtoul(argv[3], nullptr, 10) : 50;
+      return print_events(t, limit);
+    }
+    if (argc >= 3 && std::strcmp(argv[2], "--csv") == 0) {
+      return print_csv(t);
+    }
+    return print_summary(t);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
