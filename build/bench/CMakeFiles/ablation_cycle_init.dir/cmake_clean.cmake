@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cycle_init.dir/ablation_cycle_init.cpp.o"
+  "CMakeFiles/ablation_cycle_init.dir/ablation_cycle_init.cpp.o.d"
+  "ablation_cycle_init"
+  "ablation_cycle_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cycle_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hcse.dir/ablation_hcse.cpp.o"
+  "CMakeFiles/ablation_hcse.dir/ablation_hcse.cpp.o.d"
+  "ablation_hcse"
+  "ablation_hcse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hcse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

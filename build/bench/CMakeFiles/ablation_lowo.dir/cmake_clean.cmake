@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lowo.dir/ablation_lowo.cpp.o"
+  "CMakeFiles/ablation_lowo.dir/ablation_lowo.cpp.o.d"
+  "ablation_lowo"
+  "ablation_lowo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lowo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_num_counters.dir/ablation_num_counters.cpp.o"
+  "CMakeFiles/ablation_num_counters.dir/ablation_num_counters.cpp.o.d"
+  "ablation_num_counters"
+  "ablation_num_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_num_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ridge.dir/ablation_ridge.cpp.o"
+  "CMakeFiles/ablation_ridge.dir/ablation_ridge.cpp.o.d"
+  "ablation_ridge"
+  "ablation_ridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

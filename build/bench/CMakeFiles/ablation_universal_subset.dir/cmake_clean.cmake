@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_universal_subset.dir/ablation_universal_subset.cpp.o"
+  "CMakeFiles/ablation_universal_subset.dir/ablation_universal_subset.cpp.o.d"
+  "ablation_universal_subset"
+  "ablation_universal_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_universal_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_estimator.dir/perf_estimator.cpp.o"
+  "CMakeFiles/perf_estimator.dir/perf_estimator.cpp.o.d"
+  "perf_estimator"
+  "perf_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_selection.dir/perf_selection.cpp.o"
+  "CMakeFiles/perf_selection.dir/perf_selection.cpp.o.d"
+  "perf_selection"
+  "perf_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_bench_common.dir/repro_common.cpp.o"
+  "CMakeFiles/pwx_bench_common.dir/repro_common.cpp.o.d"
+  "libpwx_bench_common.a"
+  "libpwx_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpwx_bench_common.a"
+)

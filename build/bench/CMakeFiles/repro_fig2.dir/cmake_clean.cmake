@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig2.dir/repro_fig2.cpp.o"
+  "CMakeFiles/repro_fig2.dir/repro_fig2.cpp.o.d"
+  "repro_fig2"
+  "repro_fig2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig3.dir/repro_fig3.cpp.o"
+  "CMakeFiles/repro_fig3.dir/repro_fig3.cpp.o.d"
+  "repro_fig3"
+  "repro_fig3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

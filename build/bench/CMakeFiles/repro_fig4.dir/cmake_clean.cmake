@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig4.dir/repro_fig4.cpp.o"
+  "CMakeFiles/repro_fig4.dir/repro_fig4.cpp.o.d"
+  "repro_fig4"
+  "repro_fig4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig5.dir/repro_fig5.cpp.o"
+  "CMakeFiles/repro_fig5.dir/repro_fig5.cpp.o.d"
+  "repro_fig5"
+  "repro_fig5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

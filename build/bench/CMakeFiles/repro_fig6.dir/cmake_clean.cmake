@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig6.dir/repro_fig6.cpp.o"
+  "CMakeFiles/repro_fig6.dir/repro_fig6.cpp.o.d"
+  "repro_fig6"
+  "repro_fig6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table1.dir/repro_table1.cpp.o"
+  "CMakeFiles/repro_table1.dir/repro_table1.cpp.o.d"
+  "repro_table1"
+  "repro_table1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_table3.dir/repro_table3.cpp.o"
+  "CMakeFiles/repro_table3.dir/repro_table3.cpp.o.d"
+  "repro_table3"
+  "repro_table3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_table3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_estimation.dir/cluster_estimation.cpp.o"
+  "CMakeFiles/cluster_estimation.dir/cluster_estimation.cpp.o.d"
+  "cluster_estimation"
+  "cluster_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

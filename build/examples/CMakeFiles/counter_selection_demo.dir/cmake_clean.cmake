@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_selection_demo.dir/counter_selection_demo.cpp.o"
+  "CMakeFiles/counter_selection_demo.dir/counter_selection_demo.cpp.o.d"
+  "counter_selection_demo"
+  "counter_selection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_selection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_sweep.dir/dvfs_sweep.cpp.o"
+  "CMakeFiles/dvfs_sweep.dir/dvfs_sweep.cpp.o.d"
+  "dvfs_sweep"
+  "dvfs_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

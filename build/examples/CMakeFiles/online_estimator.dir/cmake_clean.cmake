@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_estimator.dir/online_estimator.cpp.o"
+  "CMakeFiles/online_estimator.dir/online_estimator.cpp.o.d"
+  "online_estimator"
+  "online_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

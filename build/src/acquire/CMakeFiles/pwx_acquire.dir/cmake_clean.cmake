@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_acquire.dir/campaign.cpp.o"
+  "CMakeFiles/pwx_acquire.dir/campaign.cpp.o.d"
+  "CMakeFiles/pwx_acquire.dir/dataset.cpp.o"
+  "CMakeFiles/pwx_acquire.dir/dataset.cpp.o.d"
+  "libpwx_acquire.a"
+  "libpwx_acquire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_acquire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

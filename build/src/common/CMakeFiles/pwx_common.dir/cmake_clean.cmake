@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_common.dir/csv.cpp.o"
+  "CMakeFiles/pwx_common.dir/csv.cpp.o.d"
+  "CMakeFiles/pwx_common.dir/json.cpp.o"
+  "CMakeFiles/pwx_common.dir/json.cpp.o.d"
+  "CMakeFiles/pwx_common.dir/log.cpp.o"
+  "CMakeFiles/pwx_common.dir/log.cpp.o.d"
+  "CMakeFiles/pwx_common.dir/rng.cpp.o"
+  "CMakeFiles/pwx_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pwx_common.dir/strings.cpp.o"
+  "CMakeFiles/pwx_common.dir/strings.cpp.o.d"
+  "CMakeFiles/pwx_common.dir/table.cpp.o"
+  "CMakeFiles/pwx_common.dir/table.cpp.o.d"
+  "libpwx_common.a"
+  "libpwx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/pwx_core.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/energy.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/pwx_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/pwx_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/fleet.cpp" "src/core/CMakeFiles/pwx_core.dir/fleet.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/fleet.cpp.o.d"
+  "/root/repo/src/core/low_validate.cpp" "src/core/CMakeFiles/pwx_core.dir/low_validate.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/low_validate.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/pwx_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/pwx_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/pcc.cpp" "src/core/CMakeFiles/pwx_core.dir/pcc.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/pcc.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/pwx_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/pwx_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/selection_criteria.cpp" "src/core/CMakeFiles/pwx_core.dir/selection_criteria.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/selection_criteria.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/pwx_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/pwx_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pwx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pwx_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pwx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/regress/CMakeFiles/pwx_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/pwx_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/acquire/CMakeFiles/pwx_acquire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pwx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pwx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pwx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pwx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pwx_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_core.dir/energy.cpp.o"
+  "CMakeFiles/pwx_core.dir/energy.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/estimator.cpp.o"
+  "CMakeFiles/pwx_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/features.cpp.o"
+  "CMakeFiles/pwx_core.dir/features.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/fleet.cpp.o"
+  "CMakeFiles/pwx_core.dir/fleet.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/low_validate.cpp.o"
+  "CMakeFiles/pwx_core.dir/low_validate.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/model.cpp.o"
+  "CMakeFiles/pwx_core.dir/model.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/model_io.cpp.o"
+  "CMakeFiles/pwx_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/pcc.cpp.o"
+  "CMakeFiles/pwx_core.dir/pcc.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/scenario.cpp.o"
+  "CMakeFiles/pwx_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/selection.cpp.o"
+  "CMakeFiles/pwx_core.dir/selection.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/selection_criteria.cpp.o"
+  "CMakeFiles/pwx_core.dir/selection_criteria.cpp.o.d"
+  "CMakeFiles/pwx_core.dir/validate.cpp.o"
+  "CMakeFiles/pwx_core.dir/validate.cpp.o.d"
+  "libpwx_core.a"
+  "libpwx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

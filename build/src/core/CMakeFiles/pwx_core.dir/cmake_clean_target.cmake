@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpwx_core.a"
+)

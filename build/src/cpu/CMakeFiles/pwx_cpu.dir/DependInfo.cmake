@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/dvfs.cpp" "src/cpu/CMakeFiles/pwx_cpu.dir/dvfs.cpp.o" "gcc" "src/cpu/CMakeFiles/pwx_cpu.dir/dvfs.cpp.o.d"
+  "/root/repo/src/cpu/thermal.cpp" "src/cpu/CMakeFiles/pwx_cpu.dir/thermal.cpp.o" "gcc" "src/cpu/CMakeFiles/pwx_cpu.dir/thermal.cpp.o.d"
+  "/root/repo/src/cpu/topology.cpp" "src/cpu/CMakeFiles/pwx_cpu.dir/topology.cpp.o" "gcc" "src/cpu/CMakeFiles/pwx_cpu.dir/topology.cpp.o.d"
+  "/root/repo/src/cpu/voltage.cpp" "src/cpu/CMakeFiles/pwx_cpu.dir/voltage.cpp.o" "gcc" "src/cpu/CMakeFiles/pwx_cpu.dir/voltage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pwx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

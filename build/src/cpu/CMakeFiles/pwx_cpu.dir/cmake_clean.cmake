@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_cpu.dir/dvfs.cpp.o"
+  "CMakeFiles/pwx_cpu.dir/dvfs.cpp.o.d"
+  "CMakeFiles/pwx_cpu.dir/thermal.cpp.o"
+  "CMakeFiles/pwx_cpu.dir/thermal.cpp.o.d"
+  "CMakeFiles/pwx_cpu.dir/topology.cpp.o"
+  "CMakeFiles/pwx_cpu.dir/topology.cpp.o.d"
+  "CMakeFiles/pwx_cpu.dir/voltage.cpp.o"
+  "CMakeFiles/pwx_cpu.dir/voltage.cpp.o.d"
+  "libpwx_cpu.a"
+  "libpwx_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

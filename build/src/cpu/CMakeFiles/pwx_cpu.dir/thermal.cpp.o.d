@@ -1,0 +1,3 @@
+src/cpu/CMakeFiles/pwx_cpu.dir/thermal.cpp.o: \
+ /root/repo/src/cpu/thermal.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/cpu/thermal.hpp

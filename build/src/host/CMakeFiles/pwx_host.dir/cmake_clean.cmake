@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_host.dir/kernels.cpp.o"
+  "CMakeFiles/pwx_host.dir/kernels.cpp.o.d"
+  "CMakeFiles/pwx_host.dir/perf_source.cpp.o"
+  "CMakeFiles/pwx_host.dir/perf_source.cpp.o.d"
+  "CMakeFiles/pwx_host.dir/sim_source.cpp.o"
+  "CMakeFiles/pwx_host.dir/sim_source.cpp.o.d"
+  "libpwx_host.a"
+  "libpwx_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_la.dir/cholesky.cpp.o"
+  "CMakeFiles/pwx_la.dir/cholesky.cpp.o.d"
+  "CMakeFiles/pwx_la.dir/matrix.cpp.o"
+  "CMakeFiles/pwx_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/pwx_la.dir/qr.cpp.o"
+  "CMakeFiles/pwx_la.dir/qr.cpp.o.d"
+  "CMakeFiles/pwx_la.dir/solve.cpp.o"
+  "CMakeFiles/pwx_la.dir/solve.cpp.o.d"
+  "CMakeFiles/pwx_la.dir/svd.cpp.o"
+  "CMakeFiles/pwx_la.dir/svd.cpp.o.d"
+  "libpwx_la.a"
+  "libpwx_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

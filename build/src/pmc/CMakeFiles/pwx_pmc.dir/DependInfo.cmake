@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmc/activity.cpp" "src/pmc/CMakeFiles/pwx_pmc.dir/activity.cpp.o" "gcc" "src/pmc/CMakeFiles/pwx_pmc.dir/activity.cpp.o.d"
+  "/root/repo/src/pmc/events.cpp" "src/pmc/CMakeFiles/pwx_pmc.dir/events.cpp.o" "gcc" "src/pmc/CMakeFiles/pwx_pmc.dir/events.cpp.o.d"
+  "/root/repo/src/pmc/scheduler.cpp" "src/pmc/CMakeFiles/pwx_pmc.dir/scheduler.cpp.o" "gcc" "src/pmc/CMakeFiles/pwx_pmc.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pwx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

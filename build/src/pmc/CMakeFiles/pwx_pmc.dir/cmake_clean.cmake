@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_pmc.dir/activity.cpp.o"
+  "CMakeFiles/pwx_pmc.dir/activity.cpp.o.d"
+  "CMakeFiles/pwx_pmc.dir/events.cpp.o"
+  "CMakeFiles/pwx_pmc.dir/events.cpp.o.d"
+  "CMakeFiles/pwx_pmc.dir/scheduler.cpp.o"
+  "CMakeFiles/pwx_pmc.dir/scheduler.cpp.o.d"
+  "libpwx_pmc.a"
+  "libpwx_pmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_pmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

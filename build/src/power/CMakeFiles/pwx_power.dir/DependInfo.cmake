@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/ground_truth.cpp" "src/power/CMakeFiles/pwx_power.dir/ground_truth.cpp.o" "gcc" "src/power/CMakeFiles/pwx_power.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/power/sensor.cpp" "src/power/CMakeFiles/pwx_power.dir/sensor.cpp.o" "gcc" "src/power/CMakeFiles/pwx_power.dir/sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pwx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/pwx_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pwx_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

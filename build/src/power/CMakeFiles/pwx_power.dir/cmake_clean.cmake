@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_power.dir/ground_truth.cpp.o"
+  "CMakeFiles/pwx_power.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/pwx_power.dir/sensor.cpp.o"
+  "CMakeFiles/pwx_power.dir/sensor.cpp.o.d"
+  "libpwx_power.a"
+  "libpwx_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

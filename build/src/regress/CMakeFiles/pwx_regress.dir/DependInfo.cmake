@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regress/diagnostics.cpp" "src/regress/CMakeFiles/pwx_regress.dir/diagnostics.cpp.o" "gcc" "src/regress/CMakeFiles/pwx_regress.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/regress/lasso.cpp" "src/regress/CMakeFiles/pwx_regress.dir/lasso.cpp.o" "gcc" "src/regress/CMakeFiles/pwx_regress.dir/lasso.cpp.o.d"
+  "/root/repo/src/regress/ols.cpp" "src/regress/CMakeFiles/pwx_regress.dir/ols.cpp.o" "gcc" "src/regress/CMakeFiles/pwx_regress.dir/ols.cpp.o.d"
+  "/root/repo/src/regress/ridge.cpp" "src/regress/CMakeFiles/pwx_regress.dir/ridge.cpp.o" "gcc" "src/regress/CMakeFiles/pwx_regress.dir/ridge.cpp.o.d"
+  "/root/repo/src/regress/special.cpp" "src/regress/CMakeFiles/pwx_regress.dir/special.cpp.o" "gcc" "src/regress/CMakeFiles/pwx_regress.dir/special.cpp.o.d"
+  "/root/repo/src/regress/vif.cpp" "src/regress/CMakeFiles/pwx_regress.dir/vif.cpp.o" "gcc" "src/regress/CMakeFiles/pwx_regress.dir/vif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pwx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pwx_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pwx_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_regress.dir/diagnostics.cpp.o"
+  "CMakeFiles/pwx_regress.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/pwx_regress.dir/lasso.cpp.o"
+  "CMakeFiles/pwx_regress.dir/lasso.cpp.o.d"
+  "CMakeFiles/pwx_regress.dir/ols.cpp.o"
+  "CMakeFiles/pwx_regress.dir/ols.cpp.o.d"
+  "CMakeFiles/pwx_regress.dir/ridge.cpp.o"
+  "CMakeFiles/pwx_regress.dir/ridge.cpp.o.d"
+  "CMakeFiles/pwx_regress.dir/special.cpp.o"
+  "CMakeFiles/pwx_regress.dir/special.cpp.o.d"
+  "CMakeFiles/pwx_regress.dir/vif.cpp.o"
+  "CMakeFiles/pwx_regress.dir/vif.cpp.o.d"
+  "libpwx_regress.a"
+  "libpwx_regress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_regress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_sim.dir/engine.cpp.o"
+  "CMakeFiles/pwx_sim.dir/engine.cpp.o.d"
+  "libpwx_sim.a"
+  "libpwx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

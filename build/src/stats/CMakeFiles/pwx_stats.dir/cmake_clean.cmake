@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_stats.dir/correlation.cpp.o"
+  "CMakeFiles/pwx_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/pwx_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/pwx_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/pwx_stats.dir/kfold.cpp.o"
+  "CMakeFiles/pwx_stats.dir/kfold.cpp.o.d"
+  "CMakeFiles/pwx_stats.dir/metrics.cpp.o"
+  "CMakeFiles/pwx_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/pwx_stats.dir/standardize.cpp.o"
+  "CMakeFiles/pwx_stats.dir/standardize.cpp.o.d"
+  "libpwx_stats.a"
+  "libpwx_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

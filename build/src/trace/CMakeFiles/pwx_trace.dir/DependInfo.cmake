@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/phase_profile.cpp" "src/trace/CMakeFiles/pwx_trace.dir/phase_profile.cpp.o" "gcc" "src/trace/CMakeFiles/pwx_trace.dir/phase_profile.cpp.o.d"
+  "/root/repo/src/trace/plugins.cpp" "src/trace/CMakeFiles/pwx_trace.dir/plugins.cpp.o" "gcc" "src/trace/CMakeFiles/pwx_trace.dir/plugins.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/trace/CMakeFiles/pwx_trace.dir/serialize.cpp.o" "gcc" "src/trace/CMakeFiles/pwx_trace.dir/serialize.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/pwx_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/pwx_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pwx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/pwx_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pwx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pwx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pwx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pwx_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

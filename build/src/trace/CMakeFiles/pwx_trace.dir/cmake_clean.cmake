@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_trace.dir/phase_profile.cpp.o"
+  "CMakeFiles/pwx_trace.dir/phase_profile.cpp.o.d"
+  "CMakeFiles/pwx_trace.dir/plugins.cpp.o"
+  "CMakeFiles/pwx_trace.dir/plugins.cpp.o.d"
+  "CMakeFiles/pwx_trace.dir/serialize.cpp.o"
+  "CMakeFiles/pwx_trace.dir/serialize.cpp.o.d"
+  "CMakeFiles/pwx_trace.dir/trace.cpp.o"
+  "CMakeFiles/pwx_trace.dir/trace.cpp.o.d"
+  "libpwx_trace.a"
+  "libpwx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

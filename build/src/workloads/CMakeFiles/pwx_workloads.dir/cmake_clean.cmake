@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx_workloads.dir/character.cpp.o"
+  "CMakeFiles/pwx_workloads.dir/character.cpp.o.d"
+  "CMakeFiles/pwx_workloads.dir/registry.cpp.o"
+  "CMakeFiles/pwx_workloads.dir/registry.cpp.o.d"
+  "libpwx_workloads.a"
+  "libpwx_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

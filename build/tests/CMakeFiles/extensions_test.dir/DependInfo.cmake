@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/pwx_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pwx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/regress/CMakeFiles/pwx_regress.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pwx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/acquire/CMakeFiles/pwx_acquire.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/pwx_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pwx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pwx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pwx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmc/CMakeFiles/pwx_pmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pwx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pwx_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pwx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmc_test.dir/pmc_test.cpp.o"
+  "CMakeFiles/pmc_test.dir/pmc_test.cpp.o.d"
+  "pmc_test"
+  "pmc_test.pdb"
+  "pmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shrinkage_test.dir/shrinkage_test.cpp.o"
+  "CMakeFiles/shrinkage_test.dir/shrinkage_test.cpp.o.d"
+  "shrinkage_test"
+  "shrinkage_test.pdb"
+  "shrinkage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shrinkage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

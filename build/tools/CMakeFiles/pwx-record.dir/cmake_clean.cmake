@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx-record.dir/trace_record.cpp.o"
+  "CMakeFiles/pwx-record.dir/trace_record.cpp.o.d"
+  "pwx-record"
+  "pwx-record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx-record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwx-trace-dump.dir/trace_dump.cpp.o"
+  "CMakeFiles/pwx-trace-dump.dir/trace_dump.cpp.o.d"
+  "pwx-trace-dump"
+  "pwx-trace-dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwx-trace-dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

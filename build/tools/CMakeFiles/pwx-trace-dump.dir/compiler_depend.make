@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pwx-trace-dump.
+# This may be replaced when dependencies are built.
