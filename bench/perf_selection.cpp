@@ -45,4 +45,44 @@ void BM_MeanVifOfSelected(benchmark::State& state) {
 }
 BENCHMARK(BM_MeanVifOfSelected);
 
+// Cost against candidate-pool size at a fixed selection count: the scan is
+// linear in the pool, so time should grow roughly linearly from 8 to the
+// full 54 Haswell-EP presets.
+void BM_SelectEventsByCandidates(benchmark::State& state) {
+  const auto n_candidates = static_cast<std::size_t>(state.range(0));
+  const acquire::Dataset& dataset = acquire::standard_selection_dataset();
+  std::vector<pmc::Preset> candidates = pmc::haswell_ep_available_events();
+  candidates.resize(n_candidates);
+  core::SelectionOptions opt;
+  opt.count = 6;
+  for (auto _ : state) {
+    const auto result = core::select_events(dataset, candidates, opt);
+    benchmark::DoNotOptimize(result.steps.back().r_squared);
+  }
+}
+BENCHMARK(BM_SelectEventsByCandidates)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(54)
+    ->Unit(benchmark::kMillisecond);
+
+// Serial vs parallel gating scan on the same problem. The two must return
+// identical SelectionStep sequences (scores come from candidate-independent
+// exact refits with a serial argmax); this pair exists to measure the
+// OpenMP overhead/benefit on the current machine.
+void BM_SelectEventsScanMode(benchmark::State& state) {
+  const acquire::Dataset& dataset = acquire::standard_selection_dataset();
+  const std::vector<pmc::Preset> candidates = pmc::haswell_ep_available_events();
+  core::SelectionOptions opt;
+  opt.count = 6;
+  opt.parallel_scan = state.range(0) != 0;
+  for (auto _ : state) {
+    const auto result = core::select_events(dataset, candidates, opt);
+    benchmark::DoNotOptimize(result.steps.back().r_squared);
+  }
+  state.SetLabel(opt.parallel_scan ? "parallel" : "serial");
+}
+BENCHMARK(BM_SelectEventsScanMode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -1,15 +1,38 @@
 #include "core/low_validate.hpp"
 
+#include <span>
+
 #include "common/error.hpp"
-#include "core/model.hpp"
+#include "core/features.hpp"
+#include "regress/fast_fit.hpp"
 #include "stats/metrics.hpp"
 
 namespace pwx::core {
+
+namespace {
+
+std::vector<double> gather(const std::vector<double>& values,
+                           std::span<const std::size_t> indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) {
+    out.push_back(values[i]);
+  }
+  return out;
+}
+
+}  // namespace
 
 LowoSummary leave_one_workload_out(const acquire::Dataset& dataset,
                                    const FeatureSpec& spec) {
   const std::vector<std::string> names = dataset.workload_names();
   PWX_REQUIRE(names.size() >= 2, "LOWO needs at least two workloads");
+
+  // One design build for all holdouts; each round slices its train/validate
+  // rows out of the shared matrix (row order matches filter/exclude_workloads,
+  // which keep the dataset's row order).
+  const la::Matrix x = build_features(dataset, spec);
+  const std::vector<double> y = dataset.power();
 
   LowoSummary summary;
   double mape_sum = 0.0;
@@ -17,13 +40,21 @@ LowoSummary leave_one_workload_out(const acquire::Dataset& dataset,
   for (const std::string& name : names) {
     WorkloadHoldout holdout;
     holdout.workload = name;
-    const acquire::Dataset validate = dataset.filter_workloads({name});
-    const acquire::Dataset train = dataset.exclude_workloads({name});
-    holdout.rows = validate.size();
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> validate_rows;
+    for (std::size_t r = 0; r < dataset.size(); ++r) {
+      if (dataset.rows()[r].workload == name) {
+        validate_rows.push_back(r);
+      } else {
+        train_rows.push_back(r);
+      }
+    }
+    holdout.rows = validate_rows.size();
     try {
-      const PowerModel model = train_model(train, spec);
-      const std::vector<double> predicted = model.predict(validate);
-      const std::vector<double> actual = validate.power();
+      const regress::FastOls fit =
+          regress::fit_ols_fast(x.select_rows(train_rows), gather(y, train_rows));
+      const std::vector<double> predicted = fit.predict(x.select_rows(validate_rows));
+      const std::vector<double> actual = gather(y, validate_rows);
       holdout.mape = stats::mape(actual, predicted);
       double bias = 0.0;
       for (std::size_t i = 0; i < actual.size(); ++i) {

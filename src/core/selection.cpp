@@ -6,7 +6,8 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
-#include "core/model.hpp"
+#include "core/selection_engine.hpp"
+#include "regress/fast_fit.hpp"
 #include "regress/vif.hpp"
 
 namespace pwx::core {
@@ -23,9 +24,14 @@ std::vector<pmc::Preset> SelectionResult::selected() const {
 double selected_events_mean_vif(const acquire::Dataset& dataset,
                                 const std::vector<pmc::Preset>& events) {
   PWX_REQUIRE(events.size() >= 2, "mean VIF needs at least two events");
-  const la::Matrix rates = dataset.event_rate_matrix(events);
-  return regress::mean_vif(rates);
+  return selected_events_mean_vif(dataset.event_rate_matrix(events));
 }
+
+double selected_events_mean_vif(const la::Matrix& rates) {
+  PWX_REQUIRE(rates.cols() >= 2, "mean VIF needs at least two events");
+  return regress::mean_vif_qr(rates);
+}
+
 
 SelectionResult select_events(const acquire::Dataset& dataset,
                               const std::vector<pmc::Preset>& candidates,
@@ -35,83 +41,103 @@ SelectionResult select_events(const acquire::Dataset& dataset,
               "cannot select ", options.count, " events from ", candidates.size(),
               " candidates");
 
-  SelectionResult result;
-  std::vector<pmc::Preset> selected;
-  std::vector<pmc::Preset> remaining = candidates;
+  const SelectionColumnPool pool(dataset, candidates, options.normalization);
+  regress::StepwiseOls fit(pool.base_features(), pool.power());
+  fit.register_candidates(pool.feature_columns(), pool.candidate_count());
 
-  auto fit_r2 = [&](const std::vector<pmc::Preset>& events, double& r2,
-                    double& adj_r2) -> bool {
-    FeatureSpec spec;
-    spec.events = events;
-    spec.normalization = options.normalization;
-    try {
-      // R² does not depend on the covariance estimator; use the cheap one.
-      const PowerModel model =
-          train_model(dataset, spec, regress::CovarianceType::NonRobust);
-      r2 = model.fit().r_squared;
-      adj_r2 = model.fit().adj_r_squared;
-      return true;
-    } catch (const NumericalError&) {
-      return false;  // perfectly collinear with an already-selected event
-    }
-  };
+  const std::size_t n_candidates = pool.candidate_count();
+  SelectionResult result;
+  std::vector<std::size_t> selected;  // candidate indices, selection order
+  std::vector<char> used(n_candidates, 0);
 
   if (options.init_with_cycle_counter) {
     // Walker et al. seed the set with the cycle counter.
-    const auto it = std::find(remaining.begin(), remaining.end(), pmc::Preset::TOT_CYC);
-    PWX_REQUIRE(it != remaining.end(),
+    const auto it =
+        std::find(candidates.begin(), candidates.end(), pmc::Preset::TOT_CYC);
+    PWX_REQUIRE(it != candidates.end(),
                 "cycle-counter initialization requires TOT_CYC among the candidates");
-    selected.push_back(pmc::Preset::TOT_CYC);
-    remaining.erase(it);
+    const auto index =
+        static_cast<std::size_t>(std::distance(candidates.begin(), it));
+    const regress::R2Fit seeded = fit.score(pool.feature_column(index));
+    PWX_CHECK(seeded.full_rank && fit.push(pool.feature_column(index)),
+              "cycle-counter-only fit failed");
+    selected.push_back(index);
+    used[index] = 1;
     SelectionStep step;
     step.event = pmc::Preset::TOT_CYC;
-    PWX_CHECK(fit_r2(selected, step.r_squared, step.adj_r_squared),
-              "cycle-counter-only fit failed");
+    step.r_squared = seeded.r_squared;
+    step.adj_r_squared = seeded.adj_r_squared;
     result.steps.push_back(step);
   }
 
   const bool vif_veto = std::isfinite(options.max_mean_vif);
-  while (selected.size() < options.count) {
-    double best_r2 = -std::numeric_limits<double>::infinity();
-    double best_adj = 0.0;
-    double best_vif = 0.0;
-    std::size_t best_index = remaining.size();
+  std::vector<double> fast(n_candidates);
 
-    for (std::size_t i = 0; i < remaining.size(); ++i) {
-      std::vector<pmc::Preset> trial = selected;
-      trial.push_back(remaining[i]);
-      double r2 = 0.0;
-      double adj = 0.0;
-      if (!fit_r2(trial, r2, adj)) {
+  while (selected.size() < options.count) {
+    // Gating pass: cheap approximate R² per remaining candidate. Each value
+    // depends only on the committed factor and that candidate's cached
+    // columns, so the loop parallelizes without changing any result.
+    const bool score_vif = vif_veto && !selected.empty();
+    const auto n = static_cast<std::ptrdiff_t>(n_candidates);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (options.parallel_scan)
+#endif
+    for (std::ptrdiff_t ii = 0; ii < n; ++ii) {
+      const auto i = static_cast<std::size_t>(ii);
+      thread_local regress::StepwiseOls::Scratch scratch;
+      fast[i] = used[i] ? -std::numeric_limits<double>::infinity()
+                        : fit.score_fast(i, scratch);
+    }
+
+    // Deterministic argmax over *exact* (bit-identical-to-fit_ols) refits,
+    // visiting candidates in index order with strict improvement — the
+    // arithmetic and tie-breaks of the all-serial exact scan. The fast pass
+    // only licenses skips: a candidate whose fast score trails the running
+    // best by more than kFastScoreGate cannot win (the gate exceeds the
+    // fast-vs-exact deviation by orders of magnitude), and skipping a loser
+    // never changes the running best, the VIF-veto decisions, or the winner.
+    regress::StepwiseOls::Scratch scratch;
+    double best_r2 = -std::numeric_limits<double>::infinity();
+    std::size_t best_index = n_candidates;
+    regress::R2Fit best_fit;
+    double best_vif = 0.0;
+    std::vector<std::size_t> trial_events;
+    for (std::size_t i = 0; i < n_candidates; ++i) {
+      if (used[i] || fast[i] + regress::kFastScoreGate <= best_r2) {
         continue;
       }
-      if (r2 <= best_r2) {
-        continue;
+      const regress::R2Fit trial = fit.score_registered(i, scratch);
+      if (!trial.full_rank || trial.r_squared <= best_r2) {
+        continue;  // collinear with the committed set, or no improvement
       }
-      double vif = 0.0;
-      if (trial.size() >= 2 && vif_veto) {
-        vif = selected_events_mean_vif(dataset, trial);
-        if (vif > options.max_mean_vif) {
+      double trial_vif = 0.0;
+      if (score_vif) {
+        trial_events.assign(selected.begin(), selected.end());
+        trial_events.push_back(i);
+        trial_vif = pool.mean_vif(trial_events);
+        if (trial_vif > options.max_mean_vif) {
           continue;  // stage-2 veto: event is too collinear to stay stable
         }
       }
-      best_r2 = r2;
-      best_adj = adj;
-      best_vif = vif;
+      best_r2 = trial.r_squared;
       best_index = i;
+      best_fit = trial;
+      best_vif = trial_vif;
     }
-    PWX_CHECK(best_index < remaining.size(),
+    PWX_CHECK(best_index < n_candidates,
               "no candidate event admits a full-rank fit within the VIF bound");
 
+    PWX_CHECK(fit.push(pool.feature_column(best_index)),
+              "scored candidate no longer fits — inconsistent column pool");
+    selected.push_back(best_index);
+    used[best_index] = 1;
+
     SelectionStep step;
-    step.event = remaining[best_index];
-    step.r_squared = best_r2;
-    step.adj_r_squared = best_adj;
-    selected.push_back(remaining[best_index]);
-    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_index));
+    step.event = pool.events()[best_index];
+    step.r_squared = best_fit.r_squared;
+    step.adj_r_squared = best_fit.adj_r_squared;
     if (selected.size() >= 2) {
-      step.mean_vif =
-          vif_veto ? best_vif : selected_events_mean_vif(dataset, selected);
+      step.mean_vif = score_vif ? best_vif : pool.mean_vif(selected);
     }
     PWX_LOG_DEBUG("selection step ", selected.size(), ": ",
                   std::string(pmc::preset_name(step.event)), " R2=", step.r_squared,

@@ -33,6 +33,11 @@ struct SelectionOptions {
   /// paper's "do not select CA_SNP" decision, applied at every step).
   /// Infinity disables the veto — the unmodified Algorithm 1.
   double max_mean_vif = std::numeric_limits<double>::infinity();
+  /// Scan the remaining candidates with OpenMP. Results are bit-identical to
+  /// the serial scan: every candidate's score is computed independently and
+  /// the argmax reduction is serial with an index tie-break, so thread count
+  /// and scheduling never influence the outcome.
+  bool parallel_scan = true;
 };
 
 /// One greedy step.
@@ -62,5 +67,10 @@ SelectionResult select_events(const acquire::Dataset& dataset,
 /// stability metric); infinity when any event is perfectly collinear.
 double selected_events_mean_vif(const acquire::Dataset& dataset,
                                 const std::vector<pmc::Preset>& events);
+
+/// Same metric on a prebuilt per-cycle rate matrix (one column per event),
+/// for callers that already hold the rates — repeated evaluations then skip
+/// Dataset's per-row map lookups entirely.
+double selected_events_mean_vif(const la::Matrix& rates);
 
 }  // namespace pwx::core

@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "core/model.hpp"
 #include "core/pcc.hpp"
+#include "core/selection_engine.hpp"
+#include "regress/fast_fit.hpp"
 #include "regress/lasso.hpp"
 #include "stats/correlation.hpp"
 #include "stats/standardize.hpp"
@@ -15,9 +17,9 @@ namespace pwx::core {
 
 namespace {
 
-/// Lower-is-better criterion value for a fitted model.
-double criterion_value(SelectionCriterion criterion, const PowerModel& model) {
-  const auto& fit = model.fit();
+/// Lower-is-better criterion value for an R²-only fit summary.
+double criterion_value(SelectionCriterion criterion, const regress::R2Fit& fit,
+                       std::size_t n_observations) {
   switch (criterion) {
     case SelectionCriterion::RSquared:
       return -fit.r_squared;
@@ -25,15 +27,11 @@ double criterion_value(SelectionCriterion criterion, const PowerModel& model) {
       return -fit.adj_r_squared;
     case SelectionCriterion::Aic:
     case SelectionCriterion::Bic: {
-      double ss_res = 0.0;
-      for (double e : fit.residuals) {
-        ss_res += e * e;
-      }
-      const double n = static_cast<double>(fit.n_observations);
+      const double n = static_cast<double>(n_observations);
       const double k = static_cast<double>(fit.n_parameters);
       const double penalty =
           criterion == SelectionCriterion::Aic ? 2.0 * k : k * std::log(n);
-      return n * std::log(std::max(ss_res, 1e-300) / n) + penalty;
+      return n * std::log(std::max(fit.ss_res, 1e-300) / n) + penalty;
     }
   }
   throw InvalidArgument("invalid selection criterion");
@@ -64,65 +62,82 @@ CriterionSelectionResult select_events_with_criterion(
 
   CriterionSelectionResult result;
   result.criterion = criterion;
-  std::vector<pmc::Preset> selected;
-  std::vector<pmc::Preset> remaining = candidates;
   const bool vif_veto = std::isfinite(options.max_mean_vif);
 
+  const SelectionColumnPool pool(dataset, candidates, options.normalization);
+  regress::StepwiseOls fit(pool.base_features(), pool.power());
+  fit.register_candidates(pool.feature_columns(), pool.candidate_count());
+
+  const std::size_t n_candidates = pool.candidate_count();
+  std::vector<std::size_t> selected;  // candidate indices, selection order
+  std::vector<char> used(n_candidates, 0);
+
   // Criterion value of the event-free model, the early-stop reference.
-  double current = std::numeric_limits<double>::infinity();
-  {
-    FeatureSpec spec;
-    spec.normalization = options.normalization;
-    const PowerModel base =
-        train_model(dataset, spec, regress::CovarianceType::NonRobust);
-    current = criterion_value(criterion, base);
-  }
+  const regress::R2Fit base = fit.current();
+  PWX_CHECK(base.full_rank, "base design (V²f, V) is rank deficient");
+  double current = criterion_value(criterion, base, fit.rows());
+
+  std::vector<double> fast(n_candidates);
 
   while (selected.size() < options.count) {
-    double best_value = std::numeric_limits<double>::infinity();
-    double best_r2 = 0.0;
-    double best_adj = 0.0;
-    double best_vif = 0.0;
-    std::size_t best_index = remaining.size();
+    // Gating pass: approximate R² per remaining candidate (parallel-safe,
+    // result-independent of threading).
+    const bool score_vif = vif_veto && !selected.empty();
+    const auto n = static_cast<std::ptrdiff_t>(n_candidates);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (options.parallel_scan)
+#endif
+    for (std::ptrdiff_t ii = 0; ii < n; ++ii) {
+      const auto i = static_cast<std::size_t>(ii);
+      thread_local regress::StepwiseOls::Scratch scratch;
+      fast[i] = used[i] ? -std::numeric_limits<double>::infinity()
+                        : fit.score_fast(i, scratch);
+    }
 
-    for (std::size_t i = 0; i < remaining.size(); ++i) {
-      std::vector<pmc::Preset> trial = selected;
-      trial.push_back(remaining[i]);
-      FeatureSpec spec;
-      spec.events = trial;
-      spec.normalization = options.normalization;
-      double value = 0.0;
-      double r2 = 0.0;
-      double adj = 0.0;
-      try {
-        const PowerModel model =
-            train_model(dataset, spec, regress::CovarianceType::NonRobust);
-        value = criterion_value(criterion, model);
-        r2 = model.fit().r_squared;
-        adj = model.fit().adj_r_squared;
-      } catch (const NumericalError&) {
+    // Deterministic arg-min over exact refits (strict improvement: lowest
+    // candidate index wins ties), with the stage-2 VIF veto evaluated lazily
+    // on improving candidates only — the same order the serial loop always
+    // used. Every candidate in a scan adds the same parameter count, so all
+    // four criteria order candidates exactly as R² does and the fast-R² gate
+    // (see select_events) is equally valid here.
+    regress::StepwiseOls::Scratch scratch;
+    double best_value = std::numeric_limits<double>::infinity();
+    double best_r2 = -std::numeric_limits<double>::infinity();
+    std::size_t best_index = n_candidates;
+    regress::R2Fit best_fit;
+    double best_vif = 0.0;
+    std::vector<std::size_t> trial_events;
+    for (std::size_t i = 0; i < n_candidates; ++i) {
+      if (used[i] || fast[i] + regress::kFastScoreGate <= best_r2) {
         continue;
       }
+      const regress::R2Fit trial = fit.score_registered(i, scratch);
+      if (!trial.full_rank) {
+        continue;
+      }
+      const double value = criterion_value(criterion, trial, fit.rows());
       if (value >= best_value) {
         continue;
       }
-      double vif = 0.0;
-      if (trial.size() >= 2 && vif_veto) {
-        vif = selected_events_mean_vif(dataset, trial);
-        if (vif > options.max_mean_vif) {
+      double trial_vif = 0.0;
+      if (score_vif) {
+        trial_events.assign(selected.begin(), selected.end());
+        trial_events.push_back(i);
+        trial_vif = pool.mean_vif(trial_events);
+        if (trial_vif > options.max_mean_vif) {
           continue;
         }
       }
       best_value = value;
-      best_r2 = r2;
-      best_adj = adj;
-      best_vif = vif;
+      best_r2 = trial.r_squared;
       best_index = i;
+      best_fit = trial;
+      best_vif = trial_vif;
     }
-    PWX_CHECK(best_index < remaining.size() ||
+    PWX_CHECK(best_index < n_candidates ||
                   is_information_criterion(criterion) || vif_veto,
               "no candidate admits a full-rank fit");
-    if (best_index >= remaining.size()) {
+    if (best_index >= n_candidates) {
       result.stopped_early = true;
       break;
     }
@@ -133,17 +148,19 @@ CriterionSelectionResult select_events_with_criterion(
     }
     current = best_value;
 
+    PWX_CHECK(fit.push(pool.feature_column(best_index)),
+              "scored candidate no longer fits — inconsistent column pool");
+    selected.push_back(best_index);
+    used[best_index] = 1;
+
     CriterionStep step;
-    step.base.event = remaining[best_index];
-    step.base.r_squared = best_r2;
-    step.base.adj_r_squared = best_adj;
+    step.base.event = pool.events()[best_index];
+    step.base.r_squared = best_fit.r_squared;
+    step.base.adj_r_squared = best_fit.adj_r_squared;
     step.criterion_value =
         is_information_criterion(criterion) ? best_value : -best_value;
-    selected.push_back(remaining[best_index]);
-    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_index));
     if (selected.size() >= 2) {
-      step.base.mean_vif =
-          vif_veto ? best_vif : selected_events_mean_vif(dataset, selected);
+      step.base.mean_vif = score_vif ? best_vif : pool.mean_vif(selected);
     }
     result.steps.push_back(step);
   }
@@ -175,11 +192,11 @@ LassoSelectionResult select_events_lasso(const acquire::Dataset& dataset,
   PWX_REQUIRE(count >= 1 && count <= candidates.size(), "cannot take ", count,
               " of ", candidates.size(), " candidates");
 
-  FeatureSpec spec;
-  spec.events = candidates;
-  spec.normalization = normalization;
-  const la::Matrix x = build_features(dataset, spec);
-  const std::vector<double> y = dataset.power();
+  // Pool columns are bit-identical to build_features' output, so the path
+  // (and everything printed from it) is unchanged by the shared engine.
+  const SelectionColumnPool pool(dataset, candidates, normalization);
+  const la::Matrix x = pool.feature_matrix();
+  const std::vector<double> y(pool.power().begin(), pool.power().end());
 
   // Walk the path from sparse to dense; read off the first fit whose active
   // set covers `count` *event* columns (the trailing V²f and V columns do

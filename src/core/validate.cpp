@@ -4,16 +4,38 @@
 #include <limits>
 
 #include "common/error.hpp"
-#include "core/model.hpp"
+#include "core/features.hpp"
+#include "regress/fast_fit.hpp"
 #include "stats/kfold.hpp"
 #include "stats/metrics.hpp"
 
 namespace pwx::core {
 
+namespace {
+
+std::vector<double> gather(const std::vector<double>& values,
+                           std::span<const std::size_t> indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) {
+    out.push_back(values[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
 CvSummary k_fold_cross_validation(const acquire::Dataset& dataset,
                                   const FeatureSpec& spec, std::size_t k,
                                   std::uint64_t seed, regress::CovarianceType cov) {
+  (void)cov;  // fold metrics never read the covariance matrix
   const std::vector<stats::Fold> folds = stats::k_fold_splits(dataset.size(), k, seed);
+
+  // Each feature row depends only on its own DataRow, so slicing the
+  // full-dataset design per fold equals building it from the fold's
+  // sub-dataset — bit for bit — while touching Dataset's per-row maps once.
+  const la::Matrix x = build_features(dataset, spec);
+  const std::vector<double> y = dataset.power();
 
   CvSummary summary;
   summary.min = {std::numeric_limits<double>::infinity(),
@@ -24,14 +46,14 @@ CvSummary k_fold_cross_validation(const acquire::Dataset& dataset,
                  -std::numeric_limits<double>::infinity()};
 
   for (const stats::Fold& fold : folds) {
-    const acquire::Dataset train = dataset.select_rows(fold.train);
-    const acquire::Dataset validate = dataset.select_rows(fold.validate);
-    const PowerModel model = train_model(train, spec, cov);
+    const regress::FastOls fit =
+        regress::fit_ols_fast(x.select_rows(fold.train), gather(y, fold.train));
+    const std::vector<double> predicted = fit.predict(x.select_rows(fold.validate));
 
     FoldMetrics m;
-    m.r_squared = model.fit().r_squared;
-    m.adj_r_squared = model.fit().adj_r_squared;
-    m.mape = stats::mape(validate.power(), model.predict(validate));
+    m.r_squared = fit.r_squared;
+    m.adj_r_squared = fit.adj_r_squared;
+    m.mape = stats::mape(gather(y, fold.validate), predicted);
     summary.folds.push_back(m);
 
     summary.min.r_squared = std::min(summary.min.r_squared, m.r_squared);

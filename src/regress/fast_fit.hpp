@@ -1,0 +1,172 @@
+// R²-only and coefficients-only OLS fast paths.
+//
+// Greedy forward selection (Algorithm 1) and cross-validation fit hundreds of
+// models per call but only ever consume R²/Adj.R² (selection) or
+// coefficients + predictions (CV folds). fit_ols computes the thin Q factor,
+// (XᵀX)⁻¹, leverage, and a covariance matrix for every fit — all dead weight
+// on those paths. This module provides:
+//
+//   * fit_r2       — one QR + one Qᵀy; RSS read off the tail of Qᵀy.
+//   * fit_ols_fast — coefficients, fitted values, R²; skips leverage,
+//                    covariance, and inference entirely.
+//   * StepwiseOls  — the engine behind greedy selection: a committed prefix
+//                    factor extended one column at a time, with per-candidate
+//                    trial fits that replicate fit_ols bit for bit at O(mk)
+//                    instead of a from-scratch O(mk²) refit.
+//
+// Rank handling is deliberate: the selection path asks `full_rank` flags (no
+// exceptions as control flow), while fit_ols_fast mirrors fit_ols and throws
+// pwx::NumericalError so existing callers keep their failure semantics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/qr.hpp"
+
+namespace pwx::regress {
+
+/// Safety margin for gating on StepwiseOls::score_fast: a candidate whose
+/// fast score trails the running best exact R² by more than this provably
+/// cannot beat it, so the exact (bit-identical) refit may be skipped. The
+/// fast-vs-exact deviation on this codebase's designs measures below 1e-12
+/// (both paths are backward-stable QR solves of the same projected problem);
+/// 1e-8 leaves four orders of magnitude of margin, and a too-large gate only
+/// costs extra exact refits, never a different selection.
+inline constexpr double kFastScoreGate = 1e-8;
+
+/// R²-only view of an OLS fit (intercept always included).
+struct R2Fit {
+  double r_squared = 0.0;
+  double adj_r_squared = 0.0;
+  double ss_res = 0.0;            ///< residual sum of squares
+  std::size_t n_parameters = 0;   ///< design columns incl. intercept
+  bool full_rank = false;         ///< false => the other fields are meaningless
+};
+
+/// One-shot R²-only fit of y ~ [1 | x]. Never throws on collinearity — the
+/// rank verdict comes from the QR diagonal and is returned in `full_rank`.
+R2Fit fit_r2(const la::Matrix& x, std::span<const double> y);
+
+/// Coefficients + fit quality without the covariance/leverage machinery.
+struct FastOls {
+  std::vector<double> beta;  ///< intercept first when added
+  double r_squared = 0.0;
+  double adj_r_squared = 0.0;
+  double ss_res = 0.0;
+  std::size_t n_observations = 0;
+  std::size_t n_parameters = 0;  ///< columns incl. intercept
+  bool has_intercept = false;
+
+  /// Predict for a design with the same column layout as the fit input
+  /// (identical arithmetic to OlsResult::predict).
+  std::vector<double> predict(const la::Matrix& x) const;
+};
+
+/// Fit y ~ X (plus intercept when requested), computing only beta and R².
+/// beta, R², and Adj.R² are bit-identical to fit_ols on the same input.
+/// Requires n > k and full column rank; throws pwx::NumericalError otherwise.
+FastOls fit_ols_fast(const la::Matrix& x, std::span<const double> y,
+                     bool add_intercept = true);
+
+/// Stepwise refitter for greedy forward selection over designs of the form
+///
+///   [ 1 | committed event columns… | candidate | trailing columns ]
+///
+/// (Equation 1: trailing = [V²f, V], the candidate is one event's rate·V²f).
+/// The factor of the committed prefix [1 | committed…] is kept and extended by
+/// column appends; a trial fit copies it and appends candidate + trailing, so
+/// scoring one candidate costs O(m·k) rather than a from-scratch O(m·k²)
+/// factorization. Every trial reproduces fit_ols on the same design *bit for
+/// bit* — same column order, same Householder arithmetic, same residual-based
+/// R² — so switching a caller from per-trial fit_ols to StepwiseOls can never
+/// change which candidate wins a scan, even between near-tied candidates
+/// whose R² differ only in the last few ulps.
+class StepwiseOls {
+public:
+  /// Reusable per-thread buffers for score(): a scan loop keeps one Scratch
+  /// per thread so trial fits never allocate.
+  struct Scratch {
+    la::QrExtension ext;
+    std::vector<double> qty;
+    std::vector<double> fast;  ///< score_fast working set (tails + rhs)
+  };
+
+  /// `trailing`: the m x t fixed right-most design columns; may be empty
+  /// (t = 0). An intercept column is always implied on the left.
+  StepwiseOls(const la::Matrix& trailing, std::span<const double> y);
+
+  std::size_t rows() const { return y_.size(); }
+  /// Number of committed (pushed) columns, excluding intercept and trailing.
+  std::size_t committed() const { return n_committed_; }
+  /// Parameter count of the committed design [1 | committed | trailing].
+  std::size_t params() const { return 1 + n_committed_ + trailing_cols_; }
+
+  /// fit_ols of y ~ [1 | committed | trailing] (minus the dead weight).
+  R2Fit current() const;
+
+  /// fit_ols of y ~ [1 | committed | candidate | trailing]. Const and
+  /// thread-safe: a candidate scan may score concurrently from many threads,
+  /// each with its own Scratch. Collinear candidates come back with
+  /// full_rank == false (no exception).
+  R2Fit score(std::span<const double> candidate, Scratch& scratch) const;
+  R2Fit score(std::span<const double> candidate) const;
+
+  /// Register the scan's candidate pool: `count` contiguous column-major
+  /// columns of rows() entries each (`columns` must outlive the refitter).
+  /// The refitter keeps each candidate pre-transformed through the committed
+  /// prefix reflectors and updates the cache incrementally on push — one new
+  /// reflector per commit, O(m) per candidate instead of the O(m·k) re-
+  /// transform a plain score() pays per trial.
+  void register_candidates(std::span<const double> columns, std::size_t count);
+
+  /// score() for registered candidate `index`, using its cached transform.
+  /// Bit-identical to score(column of index) — the cached column carries the
+  /// same reflectors applied in the same order.
+  R2Fit score_registered(std::size_t index, Scratch& scratch) const;
+
+  /// Approximate R² of registered candidate `index`, for gating only: a
+  /// plain-sqrt Householder least-squares on the prefix-projected tails (no
+  /// bit-matching, no fitted-values pass), several times cheaper than
+  /// score_registered. The value tracks the exact R² to a few 1e-13 on
+  /// well-posed trials (backward-stable QR; see kFastScoreGate); degenerate
+  /// trials return +infinity so a gate can never skip them. Deterministic:
+  /// depends only on the candidate and the committed state, never on
+  /// threading or evaluation order.
+  double score_fast(std::size_t index, Scratch& scratch) const;
+
+  /// Commit `column` into the prefix. Returns false — leaving the factor
+  /// unchanged — when the column is collinear with the committed prefix.
+  bool push(std::span<const double> column);
+
+private:
+  R2Fit fit_design(const double* candidate, const double* candidate_qt,
+                   Scratch& scratch) const;
+  void refresh_caches();
+  std::span<const double> committed_column(std::size_t j) const {
+    return {committed_.data() + j * rows(), rows()};
+  }
+  std::span<const double> trailing_column(std::size_t t) const {
+    return {trailing_.data() + t * rows(), rows()};
+  }
+  std::span<const double> transformed_trailing(std::size_t t) const {
+    return {trailing_qt_.data() + t * rows(), rows()};
+  }
+
+  la::QrDecomposition prefix_;       ///< QR([1 | committed…])
+  std::size_t n_committed_ = 0;
+  std::size_t trailing_cols_ = 0;
+  std::vector<double> committed_;    ///< column-major committed columns
+  std::vector<double> trailing_;     ///< column-major trailing columns
+  std::vector<double> trailing_qt_;  ///< trailing run through prefix reflectors
+  std::vector<double> y_;
+  std::vector<double> base_qty_;     ///< prefix Qᵀy, shared by every trial
+  double ss_tot_ = 0.0;              ///< centered total sum of squares
+  const double* cand_raw_ = nullptr; ///< registered candidate columns (borrowed)
+  std::size_t n_cands_ = 0;
+  std::vector<double> cand_qt_;      ///< candidates through prefix reflectors
+};
+
+}  // namespace pwx::regress

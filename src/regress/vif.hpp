@@ -23,4 +23,15 @@ std::vector<double> vif_all(const la::Matrix& x);
 /// least two columns; a single predictor has no VIF ("n/a" in Table I).
 double mean_vif(const la::Matrix& x);
 
+/// All VIFs from a single QR of [1 | x] instead of one auxiliary regression
+/// per column: for the intercept-augmented design W, 1/[(WᵀW)⁻¹]_jj is the
+/// RSS of regressing column j on all the others, so VIF_j = TSS_j ·
+/// [(WᵀW)⁻¹]_jj with TSS_j the centered sum of squares of column j. O(mk²)
+/// total where the per-column path is O(mk³). Every VIF is +inf when the
+/// augmented design is rank deficient (some column is perfectly explained).
+std::vector<double> vif_all_qr(const la::Matrix& x);
+
+/// Mean of vif_all_qr — the selection engine's veto metric.
+double mean_vif_qr(const la::Matrix& x);
+
 }  // namespace pwx::regress

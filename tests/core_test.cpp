@@ -241,6 +241,56 @@ TEST(Selection, MeanVifHelperMatchesRegressModule) {
   EXPECT_LT(vif, 5.0);  // independent uniform rates: no inflation
 }
 
+TEST(Selection, MeanVifMatrixOverloadMatchesDatasetOverload) {
+  const Dataset ds = exact_dataset(60, 0.1);
+  const std::vector<pmc::Preset> events{pmc::Preset::PRF_DM, pmc::Preset::TOT_CYC};
+  const la::Matrix rates = ds.event_rate_matrix(events);
+  EXPECT_EQ(selected_events_mean_vif(rates), selected_events_mean_vif(ds, events));
+  EXPECT_THROW(selected_events_mean_vif(la::Matrix(60, 1)), InvalidArgument);
+}
+
+namespace {
+
+void expect_identical_selections(const SelectionResult& a, const SelectionResult& b) {
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].event, b.steps[i].event) << "step " << i;
+    // Bit-identical, not merely close: the parallel pass only gates which
+    // candidates reach the serial exact refit, so every reported number must
+    // come out of the same arithmetic regardless of scan mode.
+    EXPECT_EQ(a.steps[i].r_squared, b.steps[i].r_squared) << "step " << i;
+    EXPECT_EQ(a.steps[i].adj_r_squared, b.steps[i].adj_r_squared) << "step " << i;
+    EXPECT_EQ(a.steps[i].mean_vif, b.steps[i].mean_vif) << "step " << i;
+  }
+}
+
+}  // namespace
+
+TEST(Selection, ParallelScanMatchesSerialScan) {
+  const Dataset& ds = acquire::standard_selection_dataset();
+  SelectionOptions serial;
+  serial.count = 6;
+  serial.parallel_scan = false;
+  SelectionOptions parallel = serial;
+  parallel.parallel_scan = true;
+  const auto candidates = pmc::haswell_ep_available_events();
+  expect_identical_selections(select_events(ds, candidates, serial),
+                              select_events(ds, candidates, parallel));
+}
+
+TEST(Selection, ParallelScanMatchesSerialScanUnderVifVeto) {
+  const Dataset& ds = acquire::standard_selection_dataset();
+  SelectionOptions serial;
+  serial.count = 6;
+  serial.max_mean_vif = 8.0;
+  serial.parallel_scan = false;
+  SelectionOptions parallel = serial;
+  parallel.parallel_scan = true;
+  const auto candidates = pmc::haswell_ep_available_events();
+  expect_identical_selections(select_events(ds, candidates, serial),
+                              select_events(ds, candidates, parallel));
+}
+
 // ---------------------------------------------------------------- validation
 
 TEST(Validate, KFoldOnExactDataIsPerfect) {

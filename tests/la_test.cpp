@@ -382,5 +382,181 @@ TEST(Lstsq, SizeMismatchThrows) {
   EXPECT_THROW(lstsq(a, b), InvalidArgument);
 }
 
+// ------------------------------------------------- qr column append
+
+namespace {
+
+std::vector<double> column_of(const Matrix& a, std::size_t j) {
+  std::vector<double> c(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    c[i] = a(i, j);
+  }
+  return c;
+}
+
+/// Grow a factor column by column and compare against the from-scratch
+/// factorization of the same prefix at every width.
+void expect_append_matches_scratch(const Matrix& a, double tol) {
+  const std::vector<std::size_t> first{0};
+  QrDecomposition grown(a.select_columns(first));
+  for (std::size_t n = 2; n <= a.cols(); ++n) {
+    grown.append_column(column_of(a, n - 1));
+    std::vector<std::size_t> prefix(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      prefix[j] = j;
+    }
+    const QrDecomposition scratch(a.select_columns(prefix));
+    ASSERT_EQ(grown.cols(), scratch.cols());
+    EXPECT_EQ(grown.full_rank(), scratch.full_rank());
+    const Matrix rg = grown.r();
+    const Matrix rs = scratch.r();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        EXPECT_NEAR(rg(i, j), rs(i, j), tol) << "r(" << i << "," << j << ") at width " << n;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TEST(QrAppend, MatchesFromScratchOnRandomMatrix) {
+  Rng rng(77);
+  const Matrix a = random_matrix(30, 7, rng);
+  expect_append_matches_scratch(a, 1e-12);
+}
+
+TEST(QrAppend, MatchesFromScratchOnNearCollinearMatrix) {
+  Rng rng(78);
+  Matrix a = random_matrix(25, 5, rng);
+  // Column 3 = column 0 + tiny noise, column 4 = 2*column 1 - column 2.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    a(i, 3) = a(i, 0) + 1e-9 * rng.normal();
+    a(i, 4) = 2.0 * a(i, 1) - a(i, 2) + 1e-10 * rng.normal();
+  }
+  expect_append_matches_scratch(a, 1e-12);
+}
+
+TEST(QrAppend, SolveAfterAppendMatchesFromScratchSolve) {
+  Rng rng(79);
+  const Matrix a = random_matrix(20, 6, rng);
+  std::vector<double> b(20);
+  for (auto& v : b) v = rng.normal();
+
+  const std::vector<std::size_t> first3{0, 1, 2};
+  QrDecomposition grown(a.select_columns(first3));
+  grown.append_column(column_of(a, 3));
+  grown.append_column(column_of(a, 4));
+  grown.append_column(column_of(a, 5));
+  const QrDecomposition scratch(a);
+  const auto xg = grown.solve(b);
+  const auto xs = scratch.solve(b);
+  ASSERT_EQ(xg.size(), xs.size());
+  for (std::size_t j = 0; j < xg.size(); ++j) {
+    // append_column replicates the constructor's arithmetic exactly.
+    EXPECT_EQ(xg[j], xs[j]) << "beta[" << j << "]";
+  }
+}
+
+TEST(QrAppend, RejectsWhenFactorIsSquare) {
+  Rng rng(80);
+  const Matrix a = random_matrix(3, 3, rng);
+  QrDecomposition qr(a);
+  EXPECT_THROW(qr.append_column(std::vector<double>(3, 1.0)), InvalidArgument);
+}
+
+TEST(QrAppend, DetectsCollinearAppendedColumn) {
+  Rng rng(81);
+  const Matrix a = random_matrix(12, 3, rng);
+  QrDecomposition qr(a);
+  EXPECT_TRUE(qr.full_rank());
+  std::vector<double> dup = column_of(a, 1);
+  qr.append_column(dup);
+  EXPECT_FALSE(qr.full_rank());
+}
+
+// ------------------------------------------------- qr extension
+
+TEST(QrExtension, SolveMatchesFromScratchOnAssembledDesign) {
+  Rng rng(90);
+  const Matrix a = random_matrix(24, 6, rng);
+  std::vector<double> b(24);
+  for (auto& v : b) v = rng.normal();
+
+  const std::vector<std::size_t> first3{0, 1, 2};
+  const QrDecomposition base(a.select_columns(first3));
+  QrExtension ext(base);
+  ext.append(column_of(a, 3));
+  ext.append(column_of(a, 4));
+  ext.append(column_of(a, 5));
+  ASSERT_TRUE(ext.full_rank());
+  std::vector<double> qty = base.apply_qt(b);
+  ext.apply_qt_ext(qty);
+  const auto xe = ext.solve_from_qty(qty);
+
+  const QrDecomposition scratch(a);
+  const auto xs = scratch.solve(b);
+  ASSERT_EQ(xe.size(), xs.size());
+  for (std::size_t j = 0; j < xe.size(); ++j) {
+    // The extension reproduces append_column's (and hence the constructor's)
+    // arithmetic, so the combined solve is the from-scratch solve.
+    EXPECT_EQ(xe[j], xs[j]) << "beta[" << j << "]";
+  }
+}
+
+TEST(QrExtension, AppendTransformedSkipsBaseReflectors) {
+  Rng rng(91);
+  const Matrix a = random_matrix(18, 5, rng);
+  const std::vector<std::size_t> first3{0, 1, 2};
+  const QrDecomposition base(a.select_columns(first3));
+
+  QrExtension plain(base);
+  plain.append(column_of(a, 3));
+  QrExtension pre(base);
+  std::vector<double> transformed = column_of(a, 3);
+  base.transform_column(transformed);
+  pre.append_transformed(transformed);
+
+  std::vector<double> b(18);
+  for (auto& v : b) v = rng.normal();
+  std::vector<double> qty1 = base.apply_qt(b);
+  std::vector<double> qty2 = qty1;
+  plain.apply_qt_ext(qty1);
+  pre.apply_qt_ext(qty2);
+  const auto x1 = plain.solve_from_qty(qty1);
+  const auto x2 = pre.solve_from_qty(qty2);
+  ASSERT_EQ(x1.size(), x2.size());
+  for (std::size_t j = 0; j < x1.size(); ++j) {
+    EXPECT_EQ(x1[j], x2[j]);
+  }
+}
+
+TEST(QrExtension, RebindReusesBuffersAcrossTrials) {
+  Rng rng(92);
+  const Matrix a = random_matrix(16, 4, rng);
+  const std::vector<std::size_t> first2{0, 1};
+  const QrDecomposition base(a.select_columns(first2));
+  QrExtension ext;
+  for (int trial = 0; trial < 3; ++trial) {
+    ext.rebind(base);
+    EXPECT_EQ(ext.cols(), base.cols());
+    ext.append(column_of(a, 2));
+    ext.append(column_of(a, 3));
+    EXPECT_EQ(ext.cols(), base.cols() + 2);
+    EXPECT_TRUE(ext.full_rank());
+  }
+}
+
+TEST(QrExtension, FlagsCollinearTrialWithoutMutatingBase) {
+  Rng rng(93);
+  const Matrix a = random_matrix(14, 3, rng);
+  const QrDecomposition base(a);
+  ASSERT_TRUE(base.full_rank());
+  QrExtension ext(base);
+  ext.append(column_of(a, 0));  // duplicate of a base column
+  EXPECT_FALSE(ext.full_rank());
+  EXPECT_TRUE(base.full_rank());  // the base factor is read-only
+}
+
 }  // namespace
 }  // namespace pwx::la

@@ -3,13 +3,16 @@
 // an independent normal-equations path inside the test.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "la/cholesky.hpp"
 #include "regress/diagnostics.hpp"
+#include "regress/fast_fit.hpp"
 #include "regress/ols.hpp"
 #include "regress/special.hpp"
 #include "regress/vif.hpp"
@@ -465,6 +468,164 @@ TEST(Diagnostics, VarianceRatioNearOneForConstantNoise) {
     resid[i] = rng.normal(0, 1.0);
   }
   EXPECT_NEAR(variance_ratio_by_fitted(fitted, resid), 1.0, 0.25);
+}
+
+// ---------------------------------------------------------------- fast fits
+
+namespace {
+
+std::vector<double> noisy_response(const la::Matrix& x, Rng& rng) {
+  std::vector<double> y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double v = 1.5;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      v += (static_cast<double>(j) + 1.0) * x(i, j);
+    }
+    y[i] = v + rng.normal(0.0, 0.3);
+  }
+  return y;
+}
+
+}  // namespace
+
+TEST(FastFit, R2FitMatchesFitOls) {
+  Rng rng(50);
+  const la::Matrix x = random_design(40, 5, rng);
+  const auto y = noisy_response(x, rng);
+  const OlsResult full = fit_ols(x, y);
+  const R2Fit fast = fit_r2(x, y);
+  ASSERT_TRUE(fast.full_rank);
+  EXPECT_NEAR(fast.r_squared, full.r_squared, 1e-12);
+  EXPECT_NEAR(fast.adj_r_squared, full.adj_r_squared, 1e-12);
+  EXPECT_EQ(fast.n_parameters, 6u);
+}
+
+TEST(FastFit, R2FitFlagsCollinearityWithoutThrowing) {
+  Rng rng(51);
+  la::Matrix x = random_design(20, 3, rng);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x(i, 2) = 3.0 * x(i, 0);
+  }
+  const R2Fit fast = fit_r2(x, std::vector<double>(20, 1.0));
+  EXPECT_FALSE(fast.full_rank);
+}
+
+TEST(FastFit, FitOlsFastMatchesFitOlsBitwise) {
+  Rng rng(52);
+  const la::Matrix x = random_design(35, 4, rng);
+  const auto y = noisy_response(x, rng);
+  const OlsResult full = fit_ols(x, y);
+  const FastOls fast = fit_ols_fast(x, y);
+  ASSERT_EQ(fast.beta.size(), full.beta.size());
+  for (std::size_t j = 0; j < fast.beta.size(); ++j) {
+    // Identical design assembly, factorization, and solve arithmetic.
+    EXPECT_EQ(fast.beta[j], full.beta[j]) << "beta[" << j << "]";
+  }
+  EXPECT_EQ(fast.r_squared, full.r_squared);
+  EXPECT_EQ(fast.adj_r_squared, full.adj_r_squared);
+}
+
+TEST(FastFit, FastPredictMatchesOlsPredict) {
+  Rng rng(53);
+  const la::Matrix x = random_design(30, 3, rng);
+  const auto y = noisy_response(x, rng);
+  const la::Matrix x_new = random_design(7, 3, rng);
+  const auto p_full = fit_ols(x, y).predict(x_new);
+  const auto p_fast = fit_ols_fast(x, y).predict(x_new);
+  ASSERT_EQ(p_full.size(), p_fast.size());
+  for (std::size_t i = 0; i < p_full.size(); ++i) {
+    EXPECT_NEAR(p_fast[i], p_full[i], 1e-12);
+  }
+}
+
+TEST(FastFit, StepwiseScoreMatchesFitOlsBitwise) {
+  // StepwiseOls trial fits must replicate fit_ols on the assembled design
+  // [1 | committed | candidate | trailing] exactly — greedy selection relies
+  // on this to break near-ties identically to the per-trial-fit_ols path.
+  Rng rng(54);
+  const std::size_t m = 48;
+  const la::Matrix trailing = random_design(m, 2, rng);
+  const la::Matrix candidates = random_design(m, 6, rng);
+  std::vector<double> y(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    y[i] = 2.0 + candidates(i, 0) - 0.5 * candidates(i, 3) + trailing(i, 0) +
+           rng.normal(0.0, 0.2);
+  }
+
+  StepwiseOls fit(trailing, y);
+  std::vector<std::size_t> committed;
+  for (int step = 0; step < 3; ++step) {
+    for (std::size_t c = 0; c < candidates.cols(); ++c) {
+      if (std::find(committed.begin(), committed.end(), c) != committed.end()) {
+        continue;
+      }
+      // Assemble the same design fit_ols would see (without the intercept,
+      // which fit_ols adds itself): committed, candidate, trailing.
+      la::Matrix design(m, 0);
+      for (std::size_t j : committed) {
+        design.append_column(candidates.col(j));
+      }
+      design.append_column(candidates.col(c));
+      design.append_column(trailing.col(0));
+      design.append_column(trailing.col(1));
+      const OlsResult full = fit_ols(design, y);
+      const R2Fit trial = fit.score(candidates.col(c));
+      ASSERT_TRUE(trial.full_rank);
+      EXPECT_EQ(trial.r_squared, full.r_squared)
+          << "step " << step << " candidate " << c;
+      EXPECT_EQ(trial.adj_r_squared, full.adj_r_squared);
+    }
+    const std::size_t pick = static_cast<std::size_t>(step);
+    ASSERT_TRUE(fit.push(candidates.col(pick)));
+    committed.push_back(pick);
+    EXPECT_EQ(fit.committed(), committed.size());
+  }
+}
+
+TEST(FastFit, StepwisePushRejectsCollinearColumn) {
+  Rng rng(55);
+  const std::size_t m = 20;
+  const la::Matrix trailing = random_design(m, 1, rng);
+  const la::Matrix candidates = random_design(m, 2, rng);
+  std::vector<double> y(m, 1.0);
+  StepwiseOls fit(trailing, y);
+  ASSERT_TRUE(fit.push(candidates.col(0)));
+  std::vector<double> dup = candidates.col(0);
+  EXPECT_FALSE(fit.push(dup));
+  EXPECT_EQ(fit.committed(), 1u);  // the factor is unchanged by the rejection
+  const R2Fit collinear = fit.score(dup);
+  EXPECT_FALSE(collinear.full_rank);
+}
+
+TEST(FastFit, ScoreFastTracksExactScore) {
+  Rng rng(56);
+  const std::size_t m = 60;
+  const la::Matrix trailing = random_design(m, 2, rng);
+  const la::Matrix candidates = random_design(m, 8, rng);
+  std::vector<double> y(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    y[i] = 4.0 + 2.0 * candidates(i, 1) + trailing(i, 1) + rng.normal(0.0, 0.5);
+  }
+  StepwiseOls fit(trailing, y);
+  // register_candidates expects one contiguous column-major block.
+  std::vector<double> flat;
+  for (std::size_t c = 0; c < candidates.cols(); ++c) {
+    const auto col = candidates.col(c);
+    flat.insert(flat.end(), col.begin(), col.end());
+  }
+  fit.register_candidates(flat, candidates.cols());
+  StepwiseOls::Scratch scratch;
+  for (int step = 0; step < 3; ++step) {
+    for (std::size_t c = static_cast<std::size_t>(step); c < candidates.cols(); ++c) {
+      const R2Fit exact = fit.score_registered(c, scratch);
+      ASSERT_TRUE(exact.full_rank);
+      EXPECT_EQ(exact.r_squared, fit.score(candidates.col(c)).r_squared);
+      const double fast = fit.score_fast(c, scratch);
+      // The deviation bound behind kFastScoreGate, with slack to spare.
+      EXPECT_NEAR(fast, exact.r_squared, kFastScoreGate / 100.0);
+    }
+    ASSERT_TRUE(fit.push(candidates.col(static_cast<std::size_t>(step))));
+  }
 }
 
 }  // namespace

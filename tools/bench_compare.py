@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare google-benchmark JSON results against bench/perf_baseline.json.
+
+Usage:
+    bench_compare.py [--baseline FILE] [--min-speedup X] RESULTS.json...
+
+Each RESULTS.json is the --benchmark_out of one perf_* binary. For every
+benchmark present in both the results and the baseline, the script prints
+baseline time, current time, and the speedup factor (baseline / current,
+so >1 is faster than the baseline). With --min-speedup, the script exits
+non-zero when any listed benchmark regresses below the bound — handy as a
+perf gate:
+
+    cmake --build build --target bench_compare
+
+runs the selection suite and reports against the checked-in baseline.
+Only python3's standard library is used.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_results(path):
+    """Yield (name, real_ms, cpu_ms) for each benchmark iteration in `path`."""
+    with open(path) as fh:
+        data = json.load(fh)
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        scale = UNIT_TO_MS[bench.get("time_unit", "ns")]
+        yield bench["name"], bench["real_time"] * scale, bench["cpu_time"] * scale
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_baseline = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "bench",
+        "perf_baseline.json",
+    )
+    parser.add_argument("results", nargs="+", help="benchmark_out JSON files")
+    parser.add_argument("--baseline", default=default_baseline)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail when any matched benchmark's speedup is below this factor",
+    )
+    parser.add_argument(
+        "--filter",
+        default=None,
+        help="regex; only matching benchmark names are held to --min-speedup "
+        "(everything is still printed)",
+    )
+    args = parser.parse_args(argv)
+    name_filter = re.compile(args.filter) if args.filter else None
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)["benchmarks"]
+
+    rows = []
+    for path in args.results:
+        for name, real_ms, _cpu_ms in load_results(path):
+            base = baseline.get(name)
+            if base is None:
+                rows.append((name, None, real_ms, None))
+                continue
+            speedup = base["real_time_ms"] / real_ms if real_ms > 0 else float("inf")
+            rows.append((name, base["real_time_ms"], real_ms, speedup))
+
+    if not rows:
+        print("no benchmarks found in the given results files", file=sys.stderr)
+        return 2
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'speedup':>8}")
+    print("-" * (width + 40))
+    failed = []
+    for name, base_ms, cur_ms, speedup in rows:
+        if speedup is None:
+            print(f"{name:<{width}}  {'(new)':>12}  {cur_ms:>9.3f} ms  {'n/a':>8}")
+            continue
+        print(
+            f"{name:<{width}}  {base_ms:>9.3f} ms  {cur_ms:>9.3f} ms  {speedup:>7.2f}x"
+        )
+        if (
+            args.min_speedup is not None
+            and speedup < args.min_speedup
+            and (name_filter is None or name_filter.search(name))
+        ):
+            failed.append((name, speedup))
+
+    if failed:
+        print()
+        for name, speedup in failed:
+            print(
+                f"FAIL: {name} speedup {speedup:.2f}x below required "
+                f"{args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
