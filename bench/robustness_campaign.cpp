@@ -1,0 +1,193 @@
+// Chaos bench — the acquisition + modeling pipeline under injected faults.
+//
+// Runs the paper's standard 2.4 GHz acquisition campaign under a seeded
+// escalating FaultPlan (every fault kind armed: dropped/duplicated samples,
+// stuck/wrapped/NaN counters, dying runs, corrupted trace bytes, power
+// sensor dropouts and spikes) with the Retry failure policy, and checks the
+// robustness contract end to end:
+//
+//  1. the campaign completes and reports what happened (DataQuality),
+//  2. the same seed produces a byte-identical dataset on a second run,
+//  3. a model trained on the faulty acquisition stays within 2 MAPE
+//     percentage points of the clean baseline under 10-fold CV,
+//  4. a guarded online estimator driven by a fault-injected counter source
+//     never emits a non-finite or out-of-range estimate.
+//
+// Exits non-zero when any contract is violated.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "acquire/campaign.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/estimator.hpp"
+#include "core/health.hpp"
+#include "core/selection.hpp"
+#include "core/validate.hpp"
+#include "fault/fault.hpp"
+#include "host/faulty_source.hpp"
+#include "host/sim_source.hpp"
+#include "repro_common.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace pwx;
+
+int violations = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("  [ok]   %s\n", what.c_str());
+  } else {
+    std::printf("  [FAIL] %s\n", what.c_str());
+    violations += 1;
+  }
+}
+
+bool datasets_identical(const acquire::Dataset& a, const acquire::Dataset& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const acquire::DataRow& ra = a.rows()[i];
+    const acquire::DataRow& rb = b.rows()[i];
+    if (ra.workload != rb.workload || ra.phase != rb.phase ||
+        ra.frequency_ghz != rb.frequency_ghz || ra.threads != rb.threads ||
+        ra.avg_power_watts != rb.avg_power_watts ||
+        ra.avg_voltage != rb.avg_voltage || ra.elapsed_s != rb.elapsed_s ||
+        ra.runs_merged != rb.runs_merged || ra.counter_rates != rb.counter_rates) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Robustness: standard campaign + estimation under injected faults",
+      "a counter-based pipeline must survive the failure modes of real "
+      "instrumentation (glitching reads, dying runs, corrupt traces, sensor "
+      "dropouts) without silently degrading the model");
+
+  const sim::Engine engine = sim::Engine::haswell_ep();
+
+  std::printf("clean baseline: standard selection campaign @ 2.4 GHz\n");
+  const acquire::Dataset& clean = acquire::standard_selection_dataset();
+  std::printf("  %zu rows, quality: %s\n\n", clean.size(),
+              clean.quality().clean() ? "clean" : "NOT clean");
+
+  // The same campaign, now under an escalating fault schedule with the
+  // default Retry policy (re-execute flagged runs with derived seeds,
+  // quarantine configurations that keep failing).
+  // Intensity 0.1: a standard run spans dozens of sampling intervals, so the
+  // per-opportunity probabilities compound into a meaningful per-run fault
+  // rate without flagging essentially every run.
+  acquire::CampaignConfig config = acquire::standard_campaign_config({2.4});
+  config.resilience.max_attempts = 4;
+  const fault::FaultPlan plan = fault::FaultPlan::escalating(0xC7A05, 0.1);
+  config.fault_plan = &plan;
+
+  std::printf("faulty campaign: escalating plan, seed 0x%llX, policy=retry\n",
+              static_cast<unsigned long long>(plan.seed));
+  const acquire::Dataset faulty = acquire::run_campaign(engine, config);
+  const acquire::Dataset faulty_again = acquire::run_campaign(engine, config);
+
+  std::printf("\n%s\n", faulty.quality().summary().c_str());
+
+  std::size_t distinct_kinds = 0;
+  for (const auto& [name, count] : faulty.quality().fault_counts) {
+    distinct_kinds += count > 0 ? 1 : 0;
+  }
+
+  std::printf("contract checks:\n");
+  check(!faulty.empty(), "faulty campaign produced data");
+  check(!faulty.quality().clean(),
+        "fault injection was actually exercised (quality not clean)");
+  check(distinct_kinds >= 6, "at least 6 distinct fault kinds injected (got " +
+                                 std::to_string(distinct_kinds) + ")");
+  check(datasets_identical(faulty, faulty_again),
+        "same seed reproduces a byte-identical dataset");
+  check(faulty.quality().fault_counts == faulty_again.quality().fault_counts,
+        "same seed reproduces an identical fault schedule");
+
+  // Model accuracy: the retry/quarantine/sanitize chain must keep the
+  // usable rows clean enough that cross-validated accuracy stays close to
+  // the fault-free baseline.
+  core::SelectionOptions options;
+  options.count = 6;
+  options.max_mean_vif = 8.0;
+  const core::SelectionResult selection =
+      core::select_events(clean, pmc::haswell_ep_available_events(), options);
+  core::FeatureSpec spec;
+  spec.events = selection.selected();
+
+  const core::CvSummary cv_clean =
+      core::k_fold_cross_validation(clean, spec, 10, bench::kCvSeed);
+  const core::CvSummary cv_faulty =
+      core::k_fold_cross_validation(faulty, spec, 10, bench::kCvSeed);
+  const double mape_delta = std::abs(cv_faulty.mean.mape - cv_clean.mean.mape);
+  std::printf("\n10-fold CV, paper 6-counter spec:\n");
+  std::printf("  clean  : R2 %s  MAPE %s%%\n",
+              format_double(cv_clean.mean.r_squared, 4).c_str(),
+              format_double(cv_clean.mean.mape, 2).c_str());
+  std::printf("  faulty : R2 %s  MAPE %s%%  (delta %s pp)\n",
+              format_double(cv_faulty.mean.r_squared, 4).c_str(),
+              format_double(cv_faulty.mean.mape, 2).c_str(),
+              format_double(mape_delta, 2).c_str());
+  check(mape_delta <= 2.0, "faulty-acquisition CV MAPE within 2 pp of clean");
+
+  // Online estimation under fire: a guarded estimator over a fault-injected
+  // counter source must never emit NaN/Inf or a negative/out-of-range watt
+  // value, and must surface degradation through health().
+  std::printf("\nonline estimation under injected counter faults:\n");
+  const core::PowerModel model = core::train_model(clean, spec);
+  core::OnlineEstimator estimator(model);
+  sim::RunConfig rc;
+  rc.interval_s = 0.25;
+  rc.seed = 0xE57;
+  host::SimulatedCounterSource sim_source(engine, *workloads::find_workload("compute"),
+                                          rc);
+  host::FaultyCounterSource chaos(sim_source, fault::FaultPlan::escalating(0xE57, 4.0));
+  for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+    try {
+      chaos.start(estimator.required_events());
+      break;
+    } catch (const pwx::Error&) {
+    }
+  }
+  std::size_t samples = 0;
+  std::size_t degraded = 0;
+  bool all_valid = true;
+  for (;;) {
+    std::optional<core::CounterSample> sample;
+    try {
+      sample = chaos.read();
+    } catch (const pwx::Error&) {
+      continue;  // injected transient read failure
+    }
+    if (!sample.has_value()) {
+      break;
+    }
+    const double watts = estimator.estimate_guarded(*sample);
+    samples += 1;
+    all_valid = all_valid && std::isfinite(watts) && watts >= 0.0 &&
+                watts <= estimator.guards().max_watts;
+    degraded += estimator.health() != core::HealthState::Ok ? 1 : 0;
+  }
+  std::printf("  %zu samples, %zu with degraded health, %zu injected faults\n",
+              samples, degraded, chaos.injected().size());
+  check(samples > 0, "estimator processed the faulty stream");
+  check(all_valid, "every estimate finite and within [0, max_watts]");
+  check(degraded > 0, "estimator surfaced DEGRADED/FAILED health under faults");
+
+  if (violations > 0) {
+    std::printf("\n%d robustness contract violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("\nall robustness contracts hold\n");
+  return 0;
+}

@@ -1,13 +1,20 @@
 #include "acquire/campaign.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <mutex>
+#include <optional>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "cpu/dvfs.hpp"
+#include "fault/fault.hpp"
+#include "fault/inject.hpp"
 #include "trace/phase_profile.hpp"
 #include "trace/plugins.hpp"
+#include "trace/serialize.hpp"
 
 namespace pwx::acquire {
 
@@ -21,30 +28,187 @@ struct Configuration {
   std::uint64_t seed = 0;
 };
 
-std::vector<DataRow> acquire_configuration(const sim::Engine& engine,
-                                           const CampaignConfig& config,
-                                           const Configuration& unit) {
+/// Everything one unit's acquisition produced, including its share of the
+/// campaign's DataQuality. Aggregated in unit-index order after the
+/// parallel loop so the report is deterministic.
+struct UnitOutcome {
+  std::vector<DataRow> rows;
+  std::size_t runs_attempted = 0;
+  std::size_t runs_rejected = 0;
+  std::size_t runs_retried = 0;
+  std::map<std::string, std::size_t> fault_counts;
+  bool quarantined = false;
+  std::string error;  ///< last permanent failure, for Abort / logging
+};
+
+std::string make_site(const Configuration& unit, std::size_t group,
+                      std::size_t attempt) {
+  std::ostringstream os;
+  os << "campaign/" << unit.workload->name << "/f" << unit.frequency_ghz << "/t"
+     << unit.threads << "/g" << group << "/a" << attempt;
+  return os.str();
+}
+
+/// Distinct phase names in workload definition order — what a complete run's
+/// profiles must cover (a truncated run loses its tail phases).
+std::vector<std::string> expected_phases(const workloads::Workload& workload) {
+  std::vector<std::string> names;
+  for (const auto& phase : workload.phases) {
+    if (std::find(names.begin(), names.end(), phase.name) == names.end()) {
+      names.push_back(phase.name);
+    }
+  }
+  return names;
+}
+
+/// Reject profiles a healthy instrumentation stack would never produce.
+/// Throws Error(DataQuality) describing the first violation.
+void validate_profiles(const std::vector<trace::PhaseProfile>& profiles,
+                       const workloads::Workload& workload) {
+  const std::vector<std::string> expected = expected_phases(workload);
+  if (profiles.size() != expected.size()) {
+    throw Error("run produced " + std::to_string(profiles.size()) +
+                    " phases, expected " + std::to_string(expected.size()) +
+                    " (truncated run?)",
+                ErrorCode::DataQuality);
+  }
+  for (const trace::PhaseProfile& profile : profiles) {
+    if (std::find(expected.begin(), expected.end(), profile.phase) ==
+        expected.end()) {
+      throw Error("run produced unknown phase '" + profile.phase + "'",
+                  ErrorCode::DataQuality);
+    }
+    const auto bad = [&](const std::string& what) -> Error {
+      return Error("phase '" + profile.phase + "' has " + what,
+                   ErrorCode::DataQuality);
+    };
+    if (!std::isfinite(profile.avg_power_watts) || profile.avg_power_watts < 0.0) {
+      throw bad("non-finite or negative power");
+    }
+    if (!std::isfinite(profile.avg_voltage) || profile.avg_voltage <= 0.0) {
+      throw bad("non-finite or non-positive voltage");
+    }
+    if (!std::isfinite(profile.elapsed_s) || profile.elapsed_s <= 0.0) {
+      throw bad("non-finite or non-positive elapsed time");
+    }
+    for (const auto& [preset, rate] : profile.counter_rates) {
+      if (!std::isfinite(rate) || rate < 0.0) {
+        throw bad("non-finite or negative rate for " +
+                  std::string(pmc::preset_name(preset)));
+      }
+    }
+  }
+}
+
+/// Execute one event-group run (with fault injection when configured) and
+/// return its validated phase profiles. Throws Error on any failure.
+std::vector<trace::PhaseProfile> execute_group_run(
+    const sim::Engine& engine, const CampaignConfig& config,
+    const Configuration& unit, const pmc::EventGroup& group,
+    const fault::FaultInjector* injector, const std::string& site,
+    std::uint64_t seed, UnitOutcome& outcome) {
+  sim::RunConfig rc;
+  rc.frequency_ghz = unit.frequency_ghz;
+  rc.threads = unit.threads;
+  rc.interval_s = config.interval_s;
+  rc.duration_scale = config.duration_scale;
+  rc.seed = seed;
+  sim::RunResult run = engine.run(*unit.workload, rc);
+
+  bool flagged = false;
+  if (injector != nullptr) {
+    const fault::RunFaultReport report = fault::apply_run_faults(*injector, site, run);
+    for (const auto& [name, count] : report.injected) {
+      outcome.fault_counts[name] += count;
+    }
+    flagged = report.flagged;
+  }
+
+  trace::Trace tr = trace::build_standard_trace(run, group.events);
+
+  // Round-trip through the serializer when trace faults are armed, so file
+  // corruption exercises the reader's integrity checks end to end.
+  if (injector != nullptr &&
+      (injector->plan().armed_probability(fault::FaultKind::TruncateTrace) > 0.0 ||
+       injector->plan().armed_probability(fault::FaultKind::CorruptTraceByte) > 0.0)) {
+    std::ostringstream os;
+    trace::write_trace(tr, os);
+    std::string bytes = os.str();
+    const fault::RunFaultReport report =
+        fault::corrupt_serialized(*injector, site, bytes);
+    for (const auto& [name, count] : report.injected) {
+      outcome.fault_counts[name] += count;
+    }
+    flagged = flagged || report.flagged;
+    std::istringstream is(bytes);
+    tr = trace::read_trace(is);  // throws IoError on corruption
+  }
+
+  std::vector<trace::PhaseProfile> profiles = trace::build_phase_profiles(tr);
+  validate_profiles(profiles, *unit.workload);
+  if (flagged) {
+    // Value faults a real stack detects at acquisition time (sensor dropout,
+    // NaN read, died run) even when the numbers happen to parse.
+    throw Error("run flagged by detectable instrumentation faults",
+                ErrorCode::DataQuality);
+  }
+  return profiles;
+}
+
+UnitOutcome acquire_configuration(const sim::Engine& engine,
+                                  const CampaignConfig& config,
+                                  const Configuration& unit,
+                                  const fault::FaultInjector* injector) {
+  UnitOutcome outcome;
   const std::vector<pmc::EventGroup> groups =
       pmc::schedule_events(config.events, config.budget);
   PWX_CHECK(!groups.empty(), "event schedule is empty");
 
+  const std::size_t max_attempts =
+      config.resilience.policy == FailurePolicy::Retry
+          ? std::max<std::size_t>(config.resilience.max_attempts, 1)
+          : 1;
+
   // One run per event group; each run only records its group's presets.
+  // First attempts use the exact seed sequence fault-free campaigns have
+  // always used, so a campaign without faults stays bit-identical; retries
+  // derive fresh seeds from the group seed via splitmix64.
   std::vector<std::vector<trace::PhaseProfile>> per_run_profiles;
   Rng seeder(unit.seed);
-  for (const pmc::EventGroup& group : groups) {
-    sim::RunConfig rc;
-    rc.frequency_ghz = unit.frequency_ghz;
-    rc.threads = unit.threads;
-    rc.interval_s = config.interval_s;
-    rc.duration_scale = config.duration_scale;
-    rc.seed = seeder();
-    const sim::RunResult run = engine.run(*unit.workload, rc);
-    const trace::Trace tr = trace::build_standard_trace(run, group.events);
-    per_run_profiles.push_back(trace::build_phase_profiles(tr));
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const std::uint64_t group_seed = seeder();
+    std::uint64_t retry_state = group_seed;
+    bool group_ok = false;
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      const std::uint64_t run_seed =
+          attempt == 0 ? group_seed : splitmix64(retry_state);
+      if (attempt > 0) {
+        outcome.runs_retried += 1;
+      }
+      outcome.runs_attempted += 1;
+      const std::string site = make_site(unit, g, attempt);
+      try {
+        per_run_profiles.push_back(execute_group_run(
+            engine, config, unit, groups[g], injector, site, run_seed, outcome));
+        group_ok = true;
+        break;
+      } catch (const Error& e) {
+        outcome.runs_rejected += 1;
+        outcome.error = e.with_context(site).what();
+      } catch (const std::exception& e) {
+        outcome.runs_rejected += 1;
+        outcome.error = site + ": " + e.what();
+      }
+    }
+    if (!group_ok) {
+      // A missing event group would leave holes in the rate matrix, so the
+      // whole configuration is quarantined, not just this group.
+      outcome.quarantined = true;
+      return outcome;
+    }
   }
 
   // Merge per phase across runs.
-  std::vector<DataRow> rows;
   const auto& reference = per_run_profiles.front();
   for (std::size_t p = 0; p < reference.size(); ++p) {
     std::vector<trace::PhaseProfile> variants;
@@ -69,9 +233,9 @@ std::vector<DataRow> acquire_configuration(const sim::Engine& engine,
     row.elapsed_s = merged.elapsed_s;
     row.runs_merged = merged.runs_merged;
     row.counter_rates = merged.counter_rates;
-    rows.push_back(std::move(row));
+    outcome.rows.push_back(std::move(row));
   }
-  return rows;
+  return outcome;
 }
 
 }  // namespace
@@ -97,18 +261,65 @@ Dataset run_campaign(const sim::Engine& engine, const CampaignConfig& config) {
   PWX_LOG_INFO("campaign: ", units.size(), " configurations x ",
                pmc::runs_required(config.events, config.budget), " runs each");
 
-  std::vector<std::vector<DataRow>> results(units.size());
-#pragma omp parallel for schedule(dynamic)
-  for (std::size_t i = 0; i < units.size(); ++i) {
-    results[i] = acquire_configuration(engine, config, units[i]);
+  // The injector is stateless and thread-safe: fault decisions are keyed on
+  // (seed, site, index), so schedules are independent of OpenMP ordering.
+  std::optional<fault::FaultInjector> injector;
+  if (config.fault_plan != nullptr) {
+    injector.emplace(*config.fault_plan);
   }
 
+  std::vector<UnitOutcome> results(units.size());
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    // Exceptions must not escape the OpenMP region; acquire_configuration
+    // catches per-run failures, this catch is the backstop for setup errors.
+    try {
+      results[i] = acquire_configuration(engine, config, units[i],
+                                         injector ? &*injector : nullptr);
+    } catch (const std::exception& e) {
+      results[i].quarantined = true;
+      results[i].error = e.what();
+    }
+  }
+
+  // Aggregate in unit-index order so the report is deterministic.
   Dataset dataset;
-  for (auto& rows : results) {
-    for (DataRow& row : rows) {
+  DataQuality quality;
+  quality.configurations_total = units.size();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    UnitOutcome& outcome = results[i];
+    quality.runs_attempted += outcome.runs_attempted;
+    quality.runs_rejected += outcome.runs_rejected;
+    quality.runs_retried += outcome.runs_retried;
+    for (const auto& [name, count] : outcome.fault_counts) {
+      quality.fault_counts[name] += count;
+    }
+    if (outcome.quarantined) {
+      quality.configurations_quarantined += 1;
+      if (config.resilience.policy == FailurePolicy::Abort) {
+        throw Error(outcome.error, ErrorCode::DataQuality)
+            .with_context("campaign aborted (policy=abort)");
+      }
+      PWX_LOG_WARN("campaign: quarantined ", units[i].workload->name, " f=",
+                   units[i].frequency_ghz, " t=", units[i].threads, ": ",
+                   outcome.error);
+      continue;
+    }
+    for (DataRow& row : outcome.rows) {
       dataset.append(std::move(row));
     }
   }
+
+  // Last line of defense: nothing non-finite or physically impossible may
+  // reach a fit even if it slipped past per-run validation.
+  quality.sanitize = sanitize_dataset(dataset);
+  if (!quality.clean()) {
+    PWX_LOG_WARN("campaign: degraded acquisition — ", quality.runs_rejected,
+                 " runs rejected, ", quality.configurations_quarantined,
+                 " configurations quarantined, ", quality.sanitize.rows_dropped,
+                 " rows dropped");
+  }
+  dataset.set_quality(std::move(quality));
   return dataset;
 }
 

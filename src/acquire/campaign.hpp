@@ -10,6 +10,13 @@
 //
 // Campaigns are embarrassingly parallel over runs and are parallelized with
 // OpenMP when available.
+//
+// Acquisition is failure-aware: every run's phase profiles are validated
+// (phase set, finite/positive power/voltage/time, sane counter rates), and a
+// run that fails — or that a configured fault::FaultPlan flags — is
+// re-executed with a derived seed under the campaign's FailurePolicy. A
+// configuration whose runs keep failing is quarantined rather than merged,
+// and everything that happened is surfaced in the Dataset's DataQuality.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +27,25 @@
 #include "sim/engine.hpp"
 #include "workloads/registry.hpp"
 
+namespace pwx::fault {
+struct FaultPlan;
+}  // namespace pwx::fault
+
 namespace pwx::acquire {
+
+/// What to do when a run fails validation or is flagged by fault injection.
+enum class FailurePolicy {
+  Retry,  ///< re-execute with a derived seed, quarantine after max_attempts
+  Skip,   ///< quarantine the configuration immediately (no re-execution)
+  Abort,  ///< throw out of run_campaign on the first permanent failure
+};
+
+/// Campaign-level failure handling knobs.
+struct CampaignResilience {
+  FailurePolicy policy = FailurePolicy::Retry;
+  /// Total executions allowed per event-group run (first try + retries).
+  std::size_t max_attempts = 3;
+};
 
 /// What to acquire.
 struct CampaignConfig {
@@ -35,9 +60,17 @@ struct CampaignConfig {
   double interval_s = 0.25;            ///< metric sampling interval
   double duration_scale = 0.4;         ///< scales workloads' nominal durations
   std::uint64_t seed = 0xACD1;         ///< campaign-level seed
+  CampaignResilience resilience;       ///< failure handling
+  /// Optional fault schedule (not owned; must outlive the campaign). When
+  /// set, every run is perturbed per the plan before post-processing —
+  /// the chaos-testing hook bench/robustness_campaign drives.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
-/// Execute a campaign on an engine.
+/// Execute a campaign on an engine. The returned Dataset carries a
+/// DataQuality report (Dataset::quality) describing rejected runs, retries,
+/// quarantined configurations, injected faults, and sanitization drops.
+/// Throws only under FailurePolicy::Abort (or on invalid configuration).
 Dataset run_campaign(const sim::Engine& engine, const CampaignConfig& config);
 
 /// The paper's standard acquisition: all workloads, all 54 Haswell-EP

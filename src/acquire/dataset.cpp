@@ -1,10 +1,38 @@
 #include "acquire/dataset.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 
 namespace pwx::acquire {
+
+std::string DataQuality::summary() const {
+  std::ostringstream os;
+  os << "data quality: " << (clean() ? "CLEAN" : "DEGRADED") << '\n';
+  os << "  configurations: " << configurations_total << " total, "
+     << configurations_quarantined << " quarantined\n";
+  os << "  runs: " << runs_attempted << " attempted, " << runs_rejected
+     << " rejected, " << runs_retried << " retried\n";
+  os << "  rows sanitized: " << sanitize.rows_checked << " checked, "
+     << sanitize.rows_dropped << " dropped";
+  if (sanitize.rows_dropped > 0) {
+    os << " (power nonfinite " << sanitize.nonfinite_power << ", implausible "
+       << sanitize.implausible_power << ", voltage " << sanitize.invalid_voltage
+       << ", elapsed " << sanitize.invalid_elapsed << ", rates "
+       << sanitize.invalid_rate << ")";
+  }
+  os << '\n';
+  if (!fault_counts.empty()) {
+    os << "  injected faults:";
+    for (const auto& [name, count] : fault_counts) {
+      os << ' ' << name << '=' << count;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
 
 double DataRow::rate_per_cycle(pmc::Preset preset) const {
   const auto it = counter_rates.find(preset);
@@ -140,6 +168,46 @@ std::vector<pmc::Preset> Dataset::common_presets() const {
     }
   }
   return out;
+}
+
+SanitizeReport sanitize_dataset(Dataset& dataset, double max_power_watts) {
+  PWX_REQUIRE(max_power_watts > 0.0, "sanitize needs a positive power ceiling");
+  SanitizeReport report;
+  std::vector<DataRow> kept;
+  kept.reserve(dataset.size());
+  for (DataRow& row : dataset.rows()) {
+    report.rows_checked += 1;
+    bool valid = true;
+    if (!std::isfinite(row.avg_power_watts) || row.avg_power_watts < 0.0) {
+      report.nonfinite_power += 1;
+      valid = false;
+    } else if (row.avg_power_watts > max_power_watts) {
+      report.implausible_power += 1;
+      valid = false;
+    }
+    if (!std::isfinite(row.avg_voltage) || row.avg_voltage <= 0.0) {
+      report.invalid_voltage += 1;
+      valid = false;
+    }
+    if (!std::isfinite(row.elapsed_s) || row.elapsed_s <= 0.0) {
+      report.invalid_elapsed += 1;
+      valid = false;
+    }
+    for (const auto& [preset, rate] : row.counter_rates) {
+      if (!std::isfinite(rate) || rate < 0.0) {
+        report.invalid_rate += 1;
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      kept.push_back(std::move(row));
+    } else {
+      report.rows_dropped += 1;
+    }
+  }
+  dataset.rows() = std::move(kept);
+  return report;
 }
 
 }  // namespace pwx::acquire

@@ -36,6 +36,40 @@ struct DataRow {
   bool has(pmc::Preset preset) const;
 };
 
+/// What dataset sanitization rejected and why.
+struct SanitizeReport {
+  std::size_t rows_checked = 0;
+  std::size_t rows_dropped = 0;
+  std::size_t nonfinite_power = 0;      ///< NaN/Inf or negative measured power
+  std::size_t implausible_power = 0;    ///< beyond the physical ceiling
+  std::size_t invalid_voltage = 0;      ///< NaN/Inf or non-positive voltage
+  std::size_t invalid_elapsed = 0;      ///< NaN/Inf or non-positive elapsed time
+  std::size_t invalid_rate = 0;         ///< NaN/Inf or negative counter rate
+
+  bool clean() const { return rows_dropped == 0; }
+};
+
+/// Acquisition-quality provenance attached to a campaign's Dataset: how many
+/// runs misbehaved, what was retried or quarantined, and what sanitization
+/// dropped — the "is this data trustworthy" report a fleet operator reads
+/// before deploying a model trained on it.
+struct DataQuality {
+  std::size_t configurations_total = 0;
+  std::size_t configurations_quarantined = 0;  ///< dropped after retries failed
+  std::size_t runs_attempted = 0;              ///< every engine execution
+  std::size_t runs_rejected = 0;               ///< failed or fault-flagged runs
+  std::size_t runs_retried = 0;                ///< re-executions with derived seeds
+  std::map<std::string, std::size_t> fault_counts;  ///< injected faults by kind
+  SanitizeReport sanitize;
+
+  bool clean() const {
+    return configurations_quarantined == 0 && runs_rejected == 0 &&
+           sanitize.clean();
+  }
+  /// Multi-line human-readable report.
+  std::string summary() const;
+};
+
 /// A set of experiment points plus dataset-level helpers.
 class Dataset {
 public:
@@ -74,8 +108,21 @@ public:
   /// Presets recorded in *every* row (candidates usable for modeling).
   std::vector<pmc::Preset> common_presets() const;
 
+  /// Acquisition-quality provenance (populated by run_campaign; default
+  /// "clean" for hand-built datasets).
+  const DataQuality& quality() const { return quality_; }
+  void set_quality(DataQuality quality) { quality_ = std::move(quality); }
+
 private:
   std::vector<DataRow> rows_;
+  DataQuality quality_;
 };
+
+/// Remove rows that are non-finite or physically impossible (negative or
+/// implausible power, non-positive voltage/elapsed time, NaN/negative
+/// counter rates) so one poisoned row can never reach a fit. Returns what
+/// was dropped and why. `max_power_watts` is the plausibility ceiling for
+/// one node's measured power.
+SanitizeReport sanitize_dataset(Dataset& dataset, double max_power_watts = 2000.0);
 
 }  // namespace pwx::acquire

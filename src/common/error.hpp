@@ -1,11 +1,17 @@
 // Error handling primitives for the pwx library.
 //
 // The library throws pwx::Error (derived from std::runtime_error) for all
-// recoverable failures. PWX_CHECK/PWX_REQUIRE provide formatted precondition
-// checks that stay enabled in release builds; violating them indicates misuse
-// of a public API, not an internal bug.
+// recoverable failures. Every Error carries an ErrorCode so that policy code
+// (retry loops, failure quarantine) can branch on the *class* of failure
+// without string matching, and with_context() chains provenance — e.g. the
+// (workload, frequency, run, group) coordinates of a failed acquisition —
+// onto the message while preserving the code and the derived type's extra
+// payload. PWX_CHECK/PWX_REQUIRE provide formatted precondition checks that
+// stay enabled in release builds; violating them indicates misuse of a
+// public API, not an internal bug.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -13,28 +19,95 @@
 
 namespace pwx {
 
+/// Machine-readable classification of a failure.
+enum class ErrorCode : std::uint8_t {
+  Unknown = 0,
+  InvalidArgument,  ///< documented precondition violated
+  Numerical,        ///< numerical routine cannot proceed
+  Io,               ///< I/O failure (open/read/write)
+  Corruption,       ///< data parsed but failed integrity validation
+  Timeout,          ///< operation exceeded its watchdog deadline
+  Unavailable,      ///< resource transiently unavailable (retry may help)
+  DataQuality,      ///< measured data rejected as implausible
+};
+
+/// Short stable name for an error code ("io", "corruption", ...).
+constexpr std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::InvalidArgument: return "invalid_argument";
+    case ErrorCode::Numerical: return "numerical";
+    case ErrorCode::Io: return "io";
+    case ErrorCode::Corruption: return "corruption";
+    case ErrorCode::Timeout: return "timeout";
+    case ErrorCode::Unavailable: return "unavailable";
+    case ErrorCode::DataQuality: return "data_quality";
+    case ErrorCode::Unknown: break;
+  }
+  return "unknown";
+}
+
 /// Base exception for all pwx failures.
 class Error : public std::runtime_error {
 public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, ErrorCode code = ErrorCode::Unknown)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+  /// A copy of this error with `context + ": "` prepended to the message
+  /// (outermost context first when chained repeatedly). The code survives.
+  Error with_context(const std::string& context) const {
+    return Error(context + ": " + what(), code_);
+  }
+
+private:
+  ErrorCode code_;
 };
 
 /// Thrown when an argument violates a documented precondition.
 class InvalidArgument : public Error {
 public:
-  explicit InvalidArgument(const std::string& what) : Error(what) {}
+  explicit InvalidArgument(const std::string& what)
+      : Error(what, ErrorCode::InvalidArgument) {}
 };
 
 /// Thrown when a numerical routine cannot proceed (singular matrix, ...).
 class NumericalError : public Error {
 public:
-  explicit NumericalError(const std::string& what) : Error(what) {}
+  explicit NumericalError(const std::string& what)
+      : Error(what, ErrorCode::Numerical) {}
 };
 
 /// Thrown on I/O or serialization failures (trace files, model files).
+/// Carries the byte offset and record index of the failure when the parser
+/// knows them (negative = not applicable), so corrupt files are diagnosable.
 class IoError : public Error {
 public:
-  explicit IoError(const std::string& what) : Error(what) {}
+  explicit IoError(const std::string& what, ErrorCode code = ErrorCode::Io)
+      : Error(what, code) {}
+  IoError(const std::string& what, std::int64_t byte_offset, std::int64_t record_index,
+          ErrorCode code = ErrorCode::Corruption)
+      : Error(what, code), byte_offset_(byte_offset), record_index_(record_index) {}
+
+  std::int64_t byte_offset() const { return byte_offset_; }
+  std::int64_t record_index() const { return record_index_; }
+
+  IoError with_context(const std::string& context) const {
+    IoError out(context + ": " + what(), code());
+    out.byte_offset_ = byte_offset_;
+    out.record_index_ = record_index_;
+    return out;
+  }
+
+private:
+  std::int64_t byte_offset_ = -1;
+  std::int64_t record_index_ = -1;
+};
+
+/// Thrown when an operation exceeds its watchdog deadline.
+class TimeoutError : public Error {
+public:
+  explicit TimeoutError(const std::string& what) : Error(what, ErrorCode::Timeout) {}
 };
 
 namespace detail {

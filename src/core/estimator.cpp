@@ -1,12 +1,30 @@
 #include "core/estimator.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace pwx::core {
 
-OnlineEstimator::OnlineEstimator(PowerModel model, double smoothing)
-    : model_(std::move(model)), smoothing_(smoothing) {
+OnlineEstimator::OnlineEstimator(PowerModel model, double smoothing,
+                                 EstimatorGuards guards)
+    : model_(std::move(model)), smoothing_(smoothing), guards_(guards) {
   PWX_REQUIRE(smoothing_ >= 0.0 && smoothing_ < 1.0, "smoothing must be in [0,1)");
+  PWX_REQUIRE(guards_.min_watts <= guards_.max_watts,
+              "estimator guard range is inverted");
+}
+
+double OnlineEstimator::smooth(double raw) {
+  if (smoothing_ <= 0.0) {
+    return raw;
+  }
+  if (!smoothed_.has_value()) {
+    smoothed_ = raw;
+  } else {
+    smoothed_ = smoothing_ * *smoothed_ + (1.0 - smoothing_) * raw;
+  }
+  return *smoothed_;
 }
 
 double OnlineEstimator::estimate(const CounterSample& sample) {
@@ -28,18 +46,59 @@ double OnlineEstimator::estimate(const CounterSample& sample) {
     row.counter_rates[preset] = it->second / sample.elapsed_s;
   }
 
-  const double raw = model_.predict_row(row);
-  if (smoothing_ <= 0.0) {
-    return raw;
-  }
-  if (!smoothed_.has_value()) {
-    smoothed_ = raw;
-  } else {
-    smoothed_ = smoothing_ * *smoothed_ + (1.0 - smoothing_) * raw;
-  }
-  return *smoothed_;
+  return smooth(model_.predict_row(row));
 }
 
-void OnlineEstimator::reset() { smoothed_.reset(); }
+std::optional<double> OnlineEstimator::try_estimate(const CounterSample& sample) const {
+  const auto finite_positive = [](double v) { return std::isfinite(v) && v > 0.0; };
+  if (!finite_positive(sample.elapsed_s) || !finite_positive(sample.frequency_ghz) ||
+      !finite_positive(sample.voltage)) {
+    return std::nullopt;
+  }
+  acquire::DataRow row;
+  row.workload = "online";
+  row.phase = "online";
+  row.frequency_ghz = sample.frequency_ghz;
+  row.avg_voltage = sample.voltage;
+  row.elapsed_s = sample.elapsed_s;
+  for (pmc::Preset preset : model_.spec().events) {
+    const auto it = sample.counts.find(preset);
+    if (it == sample.counts.end() || !std::isfinite(it->second) || it->second < 0.0) {
+      return std::nullopt;
+    }
+    row.counter_rates[preset] = it->second / sample.elapsed_s;
+  }
+  const double raw = model_.predict_row(row);
+  if (!std::isfinite(raw)) {
+    return std::nullopt;
+  }
+  return raw;
+}
+
+double OnlineEstimator::estimate_guarded(const CounterSample& sample) {
+  const std::optional<double> raw = try_estimate(sample);
+  if (raw.has_value()) {
+    consecutive_invalid_ = 0;
+    health_ = HealthState::Ok;
+    const double clamped = std::clamp(*raw, guards_.min_watts, guards_.max_watts);
+    const double out = smooth(clamped);
+    last_good_ = out;
+    return out;
+  }
+  // Invalid sample: hold the last good estimate with a bounded staleness.
+  consecutive_invalid_ += 1;
+  health_ = consecutive_invalid_ > guards_.max_consecutive_invalid
+                ? HealthState::Failed
+                : HealthState::Degraded;
+  const double held = last_good_.value_or(guards_.min_watts);
+  return std::clamp(held, guards_.min_watts, guards_.max_watts);
+}
+
+void OnlineEstimator::reset() {
+  smoothed_.reset();
+  last_good_.reset();
+  consecutive_invalid_ = 0;
+  health_ = HealthState::Ok;
+}
 
 }  // namespace pwx::core

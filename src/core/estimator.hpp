@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/health.hpp"
 #include "core/model.hpp"
 #include "pmc/events.hpp"
 
@@ -43,16 +44,41 @@ public:
   virtual std::optional<CounterSample> read() = 0;
 };
 
+/// Output guards of the estimator's hardened path (estimate_guarded).
+struct EstimatorGuards {
+  double min_watts = 0.0;      ///< estimates clamped to [min, max]
+  double max_watts = 2000.0;   ///< generous bound for a 2-socket node
+  /// Consecutive invalid samples tolerated while holding the last good
+  /// estimate (DEGRADED); one more and the estimator reports FAILED.
+  std::size_t max_consecutive_invalid = 5;
+};
+
 /// Turns counter samples into power estimates using a trained model.
 class OnlineEstimator {
 public:
   /// `smoothing` in [0,1): exponential smoothing factor applied to the
   /// estimate stream (0 = none).
-  explicit OnlineEstimator(PowerModel model, double smoothing = 0.0);
+  explicit OnlineEstimator(PowerModel model, double smoothing = 0.0,
+                           EstimatorGuards guards = {});
 
-  /// Estimate power for one sample. Throws when the sample lacks one of the
-  /// model's events.
+  /// Estimate power for one sample. Strict: throws InvalidArgument when the
+  /// sample is degenerate (non-positive elapsed time, missing events, ...).
   double estimate(const CounterSample& sample);
+
+  /// Hardened path: never throws on bad data, never emits NaN/Inf or a
+  /// value outside the guard range. Invalid samples (non-finite or
+  /// non-positive elapsed/frequency/voltage, missing or non-finite event
+  /// counts, or a non-finite model output) hold the last good estimate and
+  /// degrade health(); after guards.max_consecutive_invalid misses in a row
+  /// the estimator reports FAILED (output still held and clamped). A valid
+  /// sample restores health to OK.
+  double estimate_guarded(const CounterSample& sample);
+
+  /// Health of the guarded estimate stream.
+  HealthState health() const { return health_; }
+  /// Consecutive invalid samples absorbed since the last good one — the
+  /// staleness bound of the held estimate.
+  std::size_t consecutive_invalid() const { return consecutive_invalid_; }
 
   /// The model's event requirements (what to pass to CounterSource::start).
   const std::vector<pmc::Preset>& required_events() const {
@@ -60,14 +86,24 @@ public:
   }
 
   const PowerModel& model() const { return model_; }
+  const EstimatorGuards& guards() const { return guards_; }
 
-  /// Reset the smoothing state.
+  /// Reset the smoothing and degradation state.
   void reset();
 
 private:
+  /// Validates a sample and computes the raw model output; nullopt when the
+  /// sample or the output is unusable.
+  std::optional<double> try_estimate(const CounterSample& sample) const;
+  double smooth(double raw);
+
   PowerModel model_;
   double smoothing_;
+  EstimatorGuards guards_;
   std::optional<double> smoothed_;
+  std::optional<double> last_good_;
+  std::size_t consecutive_invalid_ = 0;
+  HealthState health_ = HealthState::Ok;
 };
 
 }  // namespace pwx::core

@@ -24,7 +24,7 @@ double FleetEstimator::ingest(const std::string& node, const CounterSample& samp
   NodeState& state = it->second;
   PWX_REQUIRE(now_s >= state.last_seen_s, "fleet time went backwards for node '", node,
               "'");
-  state.last_estimate = state.estimator.estimate(sample);
+  state.last_estimate = state.estimator.estimate_guarded(sample);
   state.last_seen_s = now_s;
   return state.last_estimate;
 }
@@ -38,6 +38,14 @@ FleetSnapshot FleetEstimator::snapshot(double now_s) const {
       snap.nodes_stale += 1;
       continue;
     }
+    const HealthState health = state.estimator.health();
+    if (health == HealthState::Failed) {
+      snap.nodes_failed += 1;
+      continue;
+    }
+    if (health == HealthState::Degraded) {
+      snap.nodes_degraded += 1;
+    }
     snap.total_watts += state.last_estimate;
     snap.nodes_reporting += 1;
     if (first) {
@@ -49,6 +57,14 @@ FleetSnapshot FleetEstimator::snapshot(double now_s) const {
     }
   }
   return snap;
+}
+
+std::optional<HealthState> FleetEstimator::node_health(const std::string& node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.last_seen_s < 0.0) {
+    return std::nullopt;
+  }
+  return it->second.estimator.health();
 }
 
 std::optional<double> FleetEstimator::node_estimate(const std::string& node) const {

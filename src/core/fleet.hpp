@@ -28,6 +28,8 @@ struct FleetSnapshot {
   double total_watts = 0.0;          ///< sum over nodes with fresh estimates
   std::size_t nodes_reporting = 0;   ///< nodes included in the total
   std::size_t nodes_stale = 0;       ///< nodes beyond the staleness horizon
+  std::size_t nodes_degraded = 0;    ///< reporting nodes on held/repaired data
+  std::size_t nodes_failed = 0;      ///< nodes whose estimator gave up (excluded)
   double max_node_watts = 0.0;
   double min_node_watts = 0.0;
 };
@@ -42,13 +44,21 @@ public:
 
   /// Ingest one node's sample at fleet time `now_s`; returns the node's
   /// power estimate. Unknown node names are registered on first use.
+  /// Telemetry faults never throw: invalid samples go through the node
+  /// estimator's guarded path, which holds the last good estimate and
+  /// degrades the node's health instead.
   double ingest(const std::string& node, const CounterSample& sample, double now_s);
 
-  /// Aggregate over all known nodes at fleet time `now_s`.
+  /// Aggregate over all known nodes at fleet time `now_s`. Nodes whose
+  /// estimator reports FAILED are excluded from the total (counted in
+  /// nodes_failed); DEGRADED nodes stay included but are counted.
   FleetSnapshot snapshot(double now_s) const;
 
   /// Last estimate of one node (nullopt when the node never reported).
   std::optional<double> node_estimate(const std::string& node) const;
+
+  /// Health of one node's estimate stream (nullopt when never reported).
+  std::optional<HealthState> node_health(const std::string& node) const;
 
   /// Registered node names (sorted).
   std::vector<std::string> nodes() const;

@@ -1,0 +1,25 @@
+// Health states shared by the hardened runtime components.
+//
+// RobustCounterSource, OnlineEstimator's guarded path, and FleetEstimator
+// all degrade through the same three-state machine: OK (clean data flowing),
+// DEGRADED (faults observed, output held/corrected but still served), FAILED
+// (fault budget exhausted, output no longer trustworthy). Fleet aggregation
+// uses the state to exclude failed nodes while keeping degraded ones.
+#pragma once
+
+#include <string_view>
+
+namespace pwx::core {
+
+enum class HealthState { Ok, Degraded, Failed };
+
+constexpr std::string_view health_name(HealthState state) {
+  switch (state) {
+    case HealthState::Ok: return "OK";
+    case HealthState::Degraded: return "DEGRADED";
+    case HealthState::Failed: return "FAILED";
+  }
+  return "?";
+}
+
+}  // namespace pwx::core

@@ -1,5 +1,6 @@
 #include "core/model_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -75,42 +76,76 @@ void save_model(const PowerModel& model, const std::string& path) {
 }
 
 PowerModel model_from_json(const std::string& text) {
-  const Json root = Json::parse(text);
-  if (root.at("format").as_string() != "pwx-power-model") {
-    throw IoError("not a pwx power model file");
-  }
-
-  FeatureSpec spec;
-  for (const Json& name : root.at("events").as_array()) {
-    const auto preset = pmc::preset_from_name(name.as_string());
-    if (!preset) {
-      throw IoError("unknown preset '" + name.as_string() + "' in model file");
+  // Json::at/as_* throw plain pwx::Error on missing keys / wrong types;
+  // re-type everything here so callers see a descriptive IoError for any
+  // malformed model file.
+  try {
+    const Json root = Json::parse(text);
+    if (root.at("format").as_string() != "pwx-power-model") {
+      throw IoError("not a pwx power model file");
     }
-    spec.events.push_back(*preset);
-  }
-  spec.normalization = root.at("normalization").as_string() == "per_cycle"
-                           ? RateNormalization::PerCycle
-                           : RateNormalization::PerSecond;
-  spec.include_dynamic_base = root.at("include_dynamic_base").as_bool();
-  spec.include_static_v = root.at("include_static_v").as_bool();
 
-  regress::OlsResult fit;
-  for (const Json& value : root.at("coefficients").as_array()) {
-    fit.beta.push_back(value.as_number());
+    FeatureSpec spec;
+    for (const Json& name : root.at("events").as_array()) {
+      const auto preset = pmc::preset_from_name(name.as_string());
+      if (!preset) {
+        throw IoError("unknown preset '" + name.as_string() + "' in model file");
+      }
+      spec.events.push_back(*preset);
+    }
+    if (spec.events.empty()) {
+      throw IoError("model file lists no events");
+    }
+    spec.normalization = root.at("normalization").as_string() == "per_cycle"
+                             ? RateNormalization::PerCycle
+                             : RateNormalization::PerSecond;
+    spec.include_dynamic_base = root.at("include_dynamic_base").as_bool();
+    spec.include_static_v = root.at("include_static_v").as_bool();
+
+    regress::OlsResult fit;
+    for (const Json& value : root.at("coefficients").as_array()) {
+      const double beta = value.as_number();
+      if (!std::isfinite(beta)) {
+        throw IoError("model file coefficient " + std::to_string(fit.beta.size()) +
+                      " is not finite");
+      }
+      fit.beta.push_back(beta);
+    }
+    for (const Json& value : root.at("standard_errors").as_array()) {
+      const double se = value.as_number();
+      if (!std::isfinite(se) || se < 0.0) {
+        throw IoError("model file standard error " +
+                      std::to_string(fit.standard_error.size()) +
+                      " is not finite and non-negative");
+      }
+      fit.standard_error.push_back(se);
+    }
+    if (fit.beta.size() != spec.column_count() + 1) {
+      throw IoError("model file coefficient count does not match the feature spec");
+    }
+    if (fit.standard_error.size() != fit.beta.size()) {
+      throw IoError("model file standard error count does not match coefficients");
+    }
+    fit.has_intercept = true;
+    fit.cov_type = cov_from_name(root.at("cov_type").as_string());
+    fit.r_squared = root.at("r_squared").as_number();
+    fit.adj_r_squared = root.at("adj_r_squared").as_number();
+    const double n_obs = root.at("n_observations").as_number();
+    if (!std::isfinite(n_obs) || n_obs < 0.0 ||
+        n_obs != std::floor(n_obs)) {
+      throw IoError("model file n_observations must be a non-negative integer");
+    }
+    fit.n_observations = static_cast<std::size_t>(n_obs);
+    fit.n_parameters = fit.beta.size();
+    if (fit.n_observations > 0 && fit.n_observations < fit.n_parameters) {
+      throw IoError("model file n_observations is smaller than the parameter count");
+    }
+    return PowerModel(spec, std::move(fit));
+  } catch (const IoError&) {
+    throw;
+  } catch (const Error& e) {
+    throw IoError(std::string("malformed model file: ") + e.what());
   }
-  for (const Json& value : root.at("standard_errors").as_array()) {
-    fit.standard_error.push_back(value.as_number());
-  }
-  if (fit.beta.size() != spec.column_count() + 1) {
-    throw IoError("model file coefficient count does not match the feature spec");
-  }
-  fit.has_intercept = true;
-  fit.cov_type = cov_from_name(root.at("cov_type").as_string());
-  fit.r_squared = root.at("r_squared").as_number();
-  fit.adj_r_squared = root.at("adj_r_squared").as_number();
-  fit.n_observations = static_cast<std::size_t>(root.at("n_observations").as_number());
-  fit.n_parameters = fit.beta.size();
-  return PowerModel(spec, std::move(fit));
 }
 
 PowerModel load_model(const std::string& path) {

@@ -1,0 +1,153 @@
+#include "core/robust_source.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace pwx::core {
+
+namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool finite_positive(double v) { return std::isfinite(v) && v > 0.0; }
+
+}  // namespace
+
+RobustCounterSource::RobustCounterSource(CounterSource& inner,
+                                         RobustSourceConfig config)
+    : inner_(inner), config_(config) {
+  PWX_REQUIRE(config_.start_attempts > 0, "start_attempts must be positive");
+  PWX_REQUIRE(config_.read_attempts > 0, "read_attempts must be positive");
+  PWX_REQUIRE(config_.counter_wrap > 0.0, "counter_wrap must be positive");
+}
+
+std::vector<pmc::Preset> RobustCounterSource::available_events() const {
+  return inner_.available_events();
+}
+
+void RobustCounterSource::start(const std::vector<pmc::Preset>& events) {
+  double backoff = config_.start_backoff_s;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      inner_.start(events);
+      health_ = HealthState::Ok;
+      clean_streak_ = 0;
+      exhausted_in_a_row_ = 0;
+      held_in_a_row_ = 0;
+      last_good_.reset();
+      return;
+    } catch (const Error& e) {
+      if (attempt >= config_.start_attempts) {
+        health_ = HealthState::Failed;
+        throw e.with_context("RobustCounterSource: start failed after " +
+                             std::to_string(attempt) + " attempts");
+      }
+      stats_.start_retries += 1;
+      PWX_LOG_WARN("RobustCounterSource: start attempt ", attempt, " failed (",
+                   e.what(), "), retrying");
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= 2.0;
+      }
+    }
+  }
+}
+
+std::optional<CounterSample> RobustCounterSource::sanitize(CounterSample sample) {
+  if (!finite_positive(sample.elapsed_s) || !finite_positive(sample.frequency_ghz) ||
+      !finite_positive(sample.voltage)) {
+    return std::nullopt;
+  }
+  for (auto& [preset, count] : sample.counts) {
+    if (!std::isfinite(count)) {
+      return std::nullopt;
+    }
+    // A delta more negative than half the counter width is a wrap, not a
+    // genuine negative count: the counter passed its maximum mid-interval.
+    if (count < -0.5 * config_.counter_wrap) {
+      count += config_.counter_wrap;
+      stats_.overflow_corrections += 1;
+    }
+    if (count < 0.0) {
+      return std::nullopt;
+    }
+  }
+  return sample;
+}
+
+void RobustCounterSource::note_fault() {
+  clean_streak_ = 0;
+  if (health_ == HealthState::Ok) {
+    health_ = HealthState::Degraded;
+  }
+}
+
+void RobustCounterSource::note_good() {
+  exhausted_in_a_row_ = 0;
+  held_in_a_row_ = 0;
+  if (health_ == HealthState::Degraded &&
+      ++clean_streak_ >= config_.recover_streak) {
+    health_ = HealthState::Ok;
+    clean_streak_ = 0;
+  }
+}
+
+std::optional<CounterSample> RobustCounterSource::read() {
+  if (health_ == HealthState::Failed) {
+    return std::nullopt;
+  }
+  for (std::size_t attempt = 0; attempt < config_.read_attempts; ++attempt) {
+    std::optional<CounterSample> raw;
+    const double begin = monotonic_seconds();
+    try {
+      raw = inner_.read();
+    } catch (const Error& e) {
+      stats_.read_errors += 1;
+      note_fault();
+      PWX_LOG_DEBUG("RobustCounterSource: read threw (", e.what(), ")");
+      continue;
+    }
+    if (monotonic_seconds() - begin > config_.read_timeout_s) {
+      stats_.watchdog_timeouts += 1;
+      note_fault();  // stalled reads degrade health, but the data may be good
+    }
+    if (!raw.has_value()) {
+      return std::nullopt;  // source genuinely exhausted; not a fault
+    }
+    std::optional<CounterSample> clean = sanitize(std::move(*raw));
+    if (!clean.has_value()) {
+      stats_.invalid_samples += 1;
+      note_fault();
+      continue;
+    }
+    note_good();
+    stats_.reads += 1;
+    last_good_ = clean;
+    return clean;
+  }
+
+  // Retry budget exhausted. Hold the last good sample to keep the stream
+  // alive while DEGRADED; two consecutive exhaustions (or running out of
+  // hold budget) is FAILED.
+  note_fault();
+  exhausted_in_a_row_ += 1;
+  if (exhausted_in_a_row_ >= 2 || !last_good_.has_value() ||
+      held_in_a_row_ >= config_.max_held_samples) {
+    health_ = HealthState::Failed;
+    PWX_LOG_WARN("RobustCounterSource: read retry budget exhausted, FAILED");
+    return std::nullopt;
+  }
+  held_in_a_row_ += 1;
+  stats_.held_samples += 1;
+  return last_good_;
+}
+
+}  // namespace pwx::core

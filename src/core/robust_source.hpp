@@ -1,0 +1,85 @@
+// Hardened decorator over any CounterSource.
+//
+// Production counter sources glitch: start() fails transiently while another
+// tool holds the PMU, reads throw or stall, counters wrap their hardware
+// width, and deltas occasionally come back NaN or negative. The
+// RobustCounterSource wraps any CounterSource and absorbs that failure
+// class so downstream consumers (OnlineEstimator, FleetEstimator) only ever
+// see structurally valid samples:
+//
+//  - start(): bounded retry with exponential backoff; rethrows with context
+//    (and health FAILED) only after the attempt budget is exhausted.
+//  - read(): per-call retry budget; a watchdog clock flags reads that exceed
+//    the configured deadline; negative deltas larger than half the counter
+//    width are corrected as overflow wraps; NaN/Inf or residual-negative
+//    samples are discarded and re-read.
+//  - health: OK -> DEGRADED on any fault, DEGRADED -> OK after a streak of
+//    clean reads, DEGRADED -> FAILED when a read exhausts its retry budget
+//    twice in a row (FAILED is terminal: read() returns nullopt). While
+//    DEGRADED with the budget exhausted once, the last good sample is
+//    re-served (held) so the estimate stream stays alive, bounded by
+//    max_held_samples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/estimator.hpp"
+#include "core/health.hpp"
+
+namespace pwx::core {
+
+/// Tunables of the hardening layer.
+struct RobustSourceConfig {
+  std::size_t start_attempts = 4;     ///< total start() tries before giving up
+  double start_backoff_s = 0.0;       ///< sleep before retry (doubles per try)
+  std::size_t read_attempts = 4;      ///< reads tried per read() call
+  double read_timeout_s = 1.0;        ///< watchdog deadline per underlying read
+  double counter_wrap = 281474976710656.0;  ///< 2^48: Haswell counter width
+  std::size_t recover_streak = 3;     ///< clean reads to go DEGRADED -> OK
+  std::size_t max_held_samples = 5;   ///< last-good re-serves before FAILED
+};
+
+/// Observable record of what the hardening layer absorbed.
+struct RobustSourceStats {
+  std::size_t reads = 0;              ///< samples delivered downstream
+  std::size_t read_errors = 0;        ///< underlying read() throws
+  std::size_t invalid_samples = 0;    ///< NaN/negative/zero-time samples discarded
+  std::size_t overflow_corrections = 0;
+  std::size_t watchdog_timeouts = 0;
+  std::size_t held_samples = 0;       ///< last-good re-serves
+  std::size_t start_retries = 0;
+};
+
+class RobustCounterSource final : public CounterSource {
+public:
+  /// Does not own `inner`; it must outlive this object.
+  explicit RobustCounterSource(CounterSource& inner, RobustSourceConfig config = {});
+
+  std::vector<pmc::Preset> available_events() const override;
+  void start(const std::vector<pmc::Preset>& events) override;
+  std::optional<CounterSample> read() override;
+
+  HealthState health() const { return health_; }
+  const RobustSourceStats& stats() const { return stats_; }
+  const RobustSourceConfig& config() const { return config_; }
+
+private:
+  /// Validate and repair one raw sample; nullopt when unusable.
+  std::optional<CounterSample> sanitize(CounterSample sample);
+  void note_fault();
+  void note_good();
+
+  CounterSource& inner_;
+  RobustSourceConfig config_;
+  HealthState health_ = HealthState::Ok;
+  RobustSourceStats stats_;
+  std::size_t clean_streak_ = 0;
+  std::size_t exhausted_in_a_row_ = 0;
+  std::size_t held_in_a_row_ = 0;
+  std::optional<CounterSample> last_good_;
+};
+
+}  // namespace pwx::core

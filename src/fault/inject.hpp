@@ -1,0 +1,50 @@
+// Applying fault decisions to concrete artifacts.
+//
+// apply_run_faults() perturbs a simulator RunResult the way a faulty DAQ
+// chain would perturb a real run: intervals vanish or duplicate, counters
+// stick/wrap/NaN, the sensor drops out or spikes, the run truncates.
+// corrupt_serialized() mangles the bytes of a serialized trace (truncation
+// and bit flips) so the reader's integrity checking is exercised end to end.
+//
+// Faults split into two classes, mirroring real instrumentation:
+//  - *flagged* faults are the ones a real stack notices at acquisition time
+//    (a died run, a sensor out-of-range, a NaN read). They set
+//    RunFaultReport::flagged so the campaign can re-execute or quarantine
+//    the run instead of merging garbage.
+//  - *silent* faults (stuck counter, duplicated sample) look structurally
+//    valid and survive into the data — the bounded-noise class whose effect
+//    the robustness bench quantifies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "sim/engine.hpp"
+
+namespace pwx::fault {
+
+/// What apply_run_faults did to one run.
+struct RunFaultReport {
+  /// Injection count per fault-kind name (names keep aggregation stable).
+  std::map<std::string, std::size_t> injected;
+  /// True when at least one *detectable* fault fired (the acquisition layer
+  /// should treat the run as failed and retry/quarantine it).
+  bool flagged = false;
+
+  bool any() const { return !injected.empty(); }
+  void merge(const RunFaultReport& other);
+};
+
+/// Perturb `run` in place according to the injector's decisions for `site`.
+/// Deterministic: same (plan, site, run) always produces the same result.
+RunFaultReport apply_run_faults(const FaultInjector& injector, const std::string& site,
+                                sim::RunResult& run);
+
+/// Mangle serialized trace bytes in place (TruncateTrace / CorruptTraceByte
+/// decisions for `site`). Returns the report; corruption is always flagged.
+RunFaultReport corrupt_serialized(const FaultInjector& injector, const std::string& site,
+                                  std::string& bytes);
+
+}  // namespace pwx::fault

@@ -1,0 +1,129 @@
+#include "host/faulty_source.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pwx::host {
+
+using fault::FaultKind;
+
+namespace {
+/// Haswell counters are 48 bits wide (matches RobustSourceConfig::counter_wrap).
+constexpr double kCounterWrap = 281474976710656.0;  // 2^48
+}  // namespace
+
+FaultyCounterSource::FaultyCounterSource(core::CounterSource& inner,
+                                         fault::FaultPlan plan, std::string site)
+    : inner_(inner), injector_(std::move(plan)), site_(std::move(site)) {}
+
+std::vector<pmc::Preset> FaultyCounterSource::available_events() const {
+  return inner_.available_events();
+}
+
+void FaultyCounterSource::note(FaultKind kind) {
+  injected_[std::string(fault_kind_name(kind))] += 1;
+}
+
+void FaultyCounterSource::start(const std::vector<pmc::Preset>& events) {
+  const std::uint64_t attempt = start_attempts_++;
+  if (injector_.fires(FaultKind::StartFailure, site_, attempt)) {
+    note(FaultKind::StartFailure);
+    throw Error("injected transient start failure (attempt " +
+                    std::to_string(attempt) + ")",
+                ErrorCode::Unavailable);
+  }
+  inner_.start(events);
+  read_index_ = 0;
+  previous_.reset();
+  pending_duplicate_ = false;
+}
+
+void FaultyCounterSource::corrupt(core::CounterSample& sample, std::uint64_t index) {
+  const auto pick = [&](FaultKind kind) -> double* {
+    if (sample.counts.empty()) {
+      return nullptr;
+    }
+    const std::size_t target = static_cast<std::size_t>(
+        injector_.draw(kind, site_, index) * static_cast<double>(sample.counts.size()));
+    auto it = sample.counts.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(
+                         std::min(target, sample.counts.size() - 1)));
+    return &it->second;
+  };
+
+  if (previous_.has_value() && !sample.counts.empty() &&
+      injector_.fires(FaultKind::StuckCounter, site_, index)) {
+    // One counter repeats the previous interval's reading.
+    const std::size_t target = static_cast<std::size_t>(
+        injector_.draw(FaultKind::StuckCounter, site_, index) *
+        static_cast<double>(sample.counts.size()));
+    auto it = sample.counts.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(
+                         std::min(target, sample.counts.size() - 1)));
+    const auto prev = previous_->counts.find(it->first);
+    if (prev != previous_->counts.end()) {
+      it->second = prev->second;
+      note(FaultKind::StuckCounter);
+    }
+  }
+  if (injector_.fires(FaultKind::OverflowWrap, site_, index)) {
+    if (double* value = pick(FaultKind::OverflowWrap)) {
+      *value -= kCounterWrap;
+      note(FaultKind::OverflowWrap);
+    }
+  }
+  if (injector_.fires(FaultKind::NanDelta, site_, index)) {
+    if (double* value = pick(FaultKind::NanDelta)) {
+      *value = std::numeric_limits<double>::quiet_NaN();
+      note(FaultKind::NanDelta);
+    }
+  }
+  if (injector_.fires(FaultKind::NegativeDelta, site_, index)) {
+    if (double* value = pick(FaultKind::NegativeDelta)) {
+      *value = -std::abs(*value) * 0.01 - 1.0;
+      note(FaultKind::NegativeDelta);
+    }
+  }
+  // Sensor-channel faults: the voltage readout stands in for the power rail.
+  if (injector_.fires(FaultKind::PowerDropout, site_, index)) {
+    sample.voltage = 0.0;
+    note(FaultKind::PowerDropout);
+  }
+  if (injector_.fires(FaultKind::PowerSpike, site_, index)) {
+    sample.voltage *= injector_.magnitude(FaultKind::PowerSpike, site_);
+    note(FaultKind::PowerSpike);
+  }
+}
+
+std::optional<core::CounterSample> FaultyCounterSource::read() {
+  if (pending_duplicate_ && previous_.has_value()) {
+    pending_duplicate_ = false;
+    return previous_;
+  }
+  for (;;) {
+    const std::uint64_t index = read_index_++;
+    if (injector_.fires(FaultKind::ReadFailure, site_, index)) {
+      note(FaultKind::ReadFailure);
+      throw Error("injected transient read failure", ErrorCode::Unavailable);
+    }
+    std::optional<core::CounterSample> sample = inner_.read();
+    if (!sample.has_value()) {
+      return std::nullopt;
+    }
+    if (injector_.fires(FaultKind::DropSample, site_, index)) {
+      note(FaultKind::DropSample);
+      continue;  // the sample is lost; deliver the next one
+    }
+    corrupt(*sample, index);
+    if (injector_.fires(FaultKind::DuplicateSample, site_, index)) {
+      note(FaultKind::DuplicateSample);
+      pending_duplicate_ = true;
+    }
+    previous_ = sample;
+    return sample;
+  }
+}
+
+}  // namespace pwx::host

@@ -94,7 +94,11 @@ PerfProbe probe_perf_events() {
   }
   ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
   long long value = 0;
-  const bool readable = ::read(fd, &value, sizeof value) == sizeof value;
+  ssize_t got = -1;
+  do {
+    got = ::read(fd, &value, sizeof value);
+  } while (got < 0 && errno == EINTR);
+  const bool readable = got == static_cast<ssize_t>(sizeof value);
   ::close(fd);
   if (!readable) {
     return {false, "counter opened but not readable"};
@@ -143,17 +147,25 @@ std::vector<pmc::Preset> PerfEventSource::available_events() const {
 void PerfEventSource::start(const std::vector<pmc::Preset>& events) {
 #if defined(__linux__)
   close_all();
+  // Validate every mapping up front so a mid-list failure cannot leak the
+  // file descriptors opened for earlier presets.
   for (pmc::Preset preset : events) {
     perf_event_attr attr{};
     PWX_REQUIRE(preset_to_attr(preset, attr), "preset ",
                 std::string(pmc::preset_name(preset)),
                 " has no generic perf_event mapping");
+  }
+  for (pmc::Preset preset : events) {
+    perf_event_attr attr{};
+    preset_to_attr(preset, attr);
     const int fd = open_counter(attr);
     if (fd < 0) {
+      const int err = errno;
       close_all();
       throw Error(std::string("perf_event_open failed for ") +
-                  std::string(pmc::preset_name(preset)) + ": " +
-                  std::strerror(errno));
+                      std::string(pmc::preset_name(preset)) + ": " +
+                      std::strerror(err),
+                  ErrorCode::Unavailable);
     }
     counters_.push_back({preset, fd});
   }
@@ -178,8 +190,17 @@ std::optional<core::CounterSample> PerfEventSource::read() {
   sample.voltage = voltage_;
   for (const OpenCounter& counter : counters_) {
     long long value = 0;
-    if (::read(counter.fd, &value, sizeof value) != sizeof value) {
-      throw Error("perf counter read failed");
+    // A signal can interrupt the read; retry on EINTR instead of failing
+    // the whole sampling interval.
+    ssize_t got = -1;
+    do {
+      got = ::read(counter.fd, &value, sizeof value);
+    } while (got < 0 && errno == EINTR);
+    if (got != static_cast<ssize_t>(sizeof value)) {
+      throw Error(std::string("perf counter read failed for ") +
+                      std::string(pmc::preset_name(counter.preset)) + ": " +
+                      (got < 0 ? std::strerror(errno) : "short read"),
+                  ErrorCode::Unavailable);
     }
     ioctl(counter.fd, PERF_EVENT_IOC_RESET, 0);
     sample.counts[counter.preset] = static_cast<double>(value);

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -11,7 +12,21 @@ namespace pwx::trace {
 
 namespace {
 
-constexpr char kMagic[8] = {'O', 'T', 'F', '2', 'L', 'T', 'v', '1'};
+// Format v2 adds end-to-end integrity: the body (everything after the magic)
+// is covered by an FNV-1a checksum stored as a u64 footer, so any bit flip —
+// even inside an f64 payload that would otherwise parse fine — surfaces as a
+// typed IoError instead of silently skewing downstream phase profiles.
+constexpr char kMagic[8] = {'O', 'T', 'F', '2', 'L', 'T', 'v', '2'};
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv1a_update(std::uint64_t& hash, const char* data, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnvPrime;
+  }
+}
 
 void put_u8(std::ostream& out, std::uint8_t v) {
   out.put(static_cast<char>(v));
@@ -40,94 +55,141 @@ void put_string(std::ostream& out, const std::string& s) {
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::uint8_t get_u8(std::istream& in) {
-  char c = 0;
-  if (!in.get(c)) {
-    throw IoError("trace: unexpected end of stream");
-  }
-  return static_cast<std::uint8_t>(c);
-}
-
-std::uint32_t get_u32(std::istream& in) {
-  char buf[4];
-  if (!in.read(buf, 4)) {
-    throw IoError("trace: unexpected end of stream");
-  }
-  std::uint32_t v = 0;
-  std::memcpy(&v, buf, 4);
-  return v;
-}
-
-std::uint64_t get_u64(std::istream& in) {
-  char buf[8];
-  if (!in.read(buf, 8)) {
-    throw IoError("trace: unexpected end of stream");
-  }
-  std::uint64_t v = 0;
-  std::memcpy(&v, buf, 8);
-  return v;
-}
-
-double get_f64(std::istream& in) {
-  char buf[8];
-  if (!in.read(buf, 8)) {
-    throw IoError("trace: unexpected end of stream");
-  }
-  double v = 0;
-  std::memcpy(&v, buf, 8);
-  return v;
-}
-
-std::string get_string(std::istream& in) {
-  const std::uint32_t len = get_u32(in);
-  if (len > (1u << 24)) {
-    throw IoError("trace: implausible string length " + std::to_string(len));
-  }
-  std::string s(len, '\0');
-  if (len > 0 && !in.read(s.data(), len)) {
-    throw IoError("trace: unexpected end of stream in string");
-  }
-  return s;
-}
-
 enum : std::uint8_t { kRegionEnter = 1, kRegionExit = 2, kMetric = 3 };
+
+/// Checksumming, position-tracking wrapper over the input stream. Every
+/// failure it throws is an IoError carrying the byte offset where parsing
+/// stopped and the index of the event record being decoded (-1 while still
+/// in the header), so a corrupt file is diagnosable down to the byte.
+class Reader {
+public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  void begin_record(std::uint64_t index) { record_ = static_cast<std::int64_t>(index); }
+  std::uint64_t checksum() const { return checksum_; }
+  std::int64_t offset() const { return static_cast<std::int64_t>(offset_); }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw IoError("trace: " + what + " (byte " + std::to_string(offset_) +
+                      ", record " + std::to_string(record_) + ")",
+                  static_cast<std::int64_t>(offset_), record_);
+  }
+
+  std::uint8_t u8() {
+    char buf[1];
+    raw(buf, 1);
+    return static_cast<std::uint8_t>(buf[0]);
+  }
+
+  std::uint32_t u32() {
+    char buf[4];
+    raw(buf, 4);
+    std::uint32_t v = 0;
+    std::memcpy(&v, buf, 4);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    char buf[8];
+    raw(buf, 8);
+    std::uint64_t v = 0;
+    std::memcpy(&v, buf, 8);
+    return v;
+  }
+
+  double f64() {
+    char buf[8];
+    raw(buf, 8);
+    double v = 0;
+    std::memcpy(&v, buf, 8);
+    return v;
+  }
+
+  std::string string() {
+    const std::uint32_t len = u32();
+    if (len > (1u << 24)) {
+      fail("implausible string length " + std::to_string(len));
+    }
+    std::string s(len, '\0');
+    if (len > 0) {
+      raw(s.data(), len);
+    }
+    return s;
+  }
+
+  /// The footer is read outside the checksummed body.
+  std::uint64_t footer_u64() {
+    char buf[8];
+    if (!in_.read(buf, 8)) {
+      fail("truncated before checksum footer");
+    }
+    offset_ += 8;
+    std::uint64_t v = 0;
+    std::memcpy(&v, buf, 8);
+    return v;
+  }
+
+private:
+  void raw(char* buf, std::size_t size) {
+    if (!in_.read(buf, static_cast<std::streamsize>(size))) {
+      fail("unexpected end of stream");
+    }
+    fnv1a_update(checksum_, buf, size);
+    offset_ += size;
+  }
+
+  std::istream& in_;
+  std::uint64_t offset_ = sizeof kMagic;  ///< bytes consumed, incl. magic
+  std::int64_t record_ = -1;              ///< current event record (-1: header)
+  std::uint64_t checksum_ = kFnvOffset;   ///< running FNV-1a over body bytes
+};
 
 }  // namespace
 
 void write_trace(const Trace& trace, std::ostream& out) {
-  out.write(kMagic, sizeof kMagic);
+  // Serialize the body to memory first so the checksum can be computed over
+  // exactly the bytes written.
+  std::ostringstream body;
 
-  put_u32(out, static_cast<std::uint32_t>(trace.attributes().size()));
+  put_u32(body, static_cast<std::uint32_t>(trace.attributes().size()));
   for (const auto& [key, value] : trace.attributes()) {
-    put_string(out, key);
-    put_string(out, value);
+    put_string(body, key);
+    put_string(body, value);
   }
 
-  put_u32(out, static_cast<std::uint32_t>(trace.metrics().size()));
+  put_u32(body, static_cast<std::uint32_t>(trace.metrics().size()));
   for (const MetricDefinition& metric : trace.metrics()) {
-    put_string(out, metric.name);
-    put_string(out, metric.unit);
-    put_u8(out, static_cast<std::uint8_t>(metric.mode));
+    put_string(body, metric.name);
+    put_string(body, metric.unit);
+    put_u8(body, static_cast<std::uint8_t>(metric.mode));
   }
 
-  put_u64(out, trace.events().size());
+  put_u64(body, trace.events().size());
   for (const Event& event : trace.events()) {
     if (const auto* enter = std::get_if<RegionEnter>(&event)) {
-      put_u8(out, kRegionEnter);
-      put_u64(out, enter->time_ns);
-      put_string(out, enter->region);
+      put_u8(body, kRegionEnter);
+      put_u64(body, enter->time_ns);
+      put_string(body, enter->region);
     } else if (const auto* exit = std::get_if<RegionExit>(&event)) {
-      put_u8(out, kRegionExit);
-      put_u64(out, exit->time_ns);
-      put_string(out, exit->region);
+      put_u8(body, kRegionExit);
+      put_u64(body, exit->time_ns);
+      put_string(body, exit->region);
     } else {
       const auto& metric = std::get<MetricEvent>(event);
-      put_u8(out, kMetric);
-      put_u64(out, metric.time_ns);
-      put_u32(out, metric.metric);
-      put_f64(out, metric.value);
+      put_u8(body, kMetric);
+      put_u64(body, metric.time_ns);
+      put_u32(body, metric.metric);
+      put_f64(body, metric.value);
     }
   }
+
+  const std::string bytes = body.str();
+  std::uint64_t checksum = kFnvOffset;
+  fnv1a_update(checksum, bytes.data(), bytes.size());
+
+  out.write(kMagic, sizeof kMagic);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  put_u64(out, checksum);
   if (!out) {
     throw IoError("trace: write failed");
   }
@@ -141,73 +203,103 @@ void write_trace_file(const Trace& trace, const std::string& path) {
   write_trace(trace, out);
 }
 
-Trace read_trace(std::istream& in) {
-  char magic[8];
-  if (!in.read(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof magic) != 0) {
-    throw IoError("trace: bad magic (not an OTF2-lite file)");
-  }
+namespace {
 
+Trace read_body(Reader& reader) {
   Trace trace;
-  const std::uint32_t attr_count = get_u32(in);
+  const std::uint32_t attr_count = reader.u32();
   if (attr_count > (1u << 20)) {
-    throw IoError("trace: implausible attribute count");
+    reader.fail("implausible attribute count " + std::to_string(attr_count));
   }
   for (std::uint32_t i = 0; i < attr_count; ++i) {
-    std::string key = get_string(in);
-    std::string value = get_string(in);
+    std::string key = reader.string();
+    std::string value = reader.string();
     trace.set_attribute(key, value);
   }
 
-  const std::uint32_t metric_count = get_u32(in);
+  const std::uint32_t metric_count = reader.u32();
   if (metric_count > (1u << 20)) {
-    throw IoError("trace: implausible metric count");
+    reader.fail("implausible metric count " + std::to_string(metric_count));
   }
   for (std::uint32_t i = 0; i < metric_count; ++i) {
     MetricDefinition metric;
-    metric.name = get_string(in);
-    metric.unit = get_string(in);
-    const std::uint8_t mode = get_u8(in);
+    metric.name = reader.string();
+    metric.unit = reader.string();
+    const std::uint8_t mode = reader.u8();
     if (mode > static_cast<std::uint8_t>(MetricMode::CounterIncrement)) {
-      throw IoError("trace: invalid metric mode");
+      reader.fail("invalid metric mode " + std::to_string(mode));
     }
     metric.mode = static_cast<MetricMode>(mode);
     trace.define_metric(std::move(metric));
   }
 
-  const std::uint64_t event_count = get_u64(in);
+  const std::uint64_t event_count = reader.u64();
   if (event_count > (1ull << 32)) {
-    throw IoError("trace: implausible event count");
+    reader.fail("implausible event count " + std::to_string(event_count));
   }
   for (std::uint64_t i = 0; i < event_count; ++i) {
-    const std::uint8_t kind = get_u8(in);
+    reader.begin_record(i);
+    const std::uint8_t kind = reader.u8();
     switch (kind) {
       case kRegionEnter: {
         RegionEnter e;
-        e.time_ns = get_u64(in);
-        e.region = get_string(in);
+        e.time_ns = reader.u64();
+        e.region = reader.string();
         trace.append(std::move(e));
         break;
       }
       case kRegionExit: {
         RegionExit e;
-        e.time_ns = get_u64(in);
-        e.region = get_string(in);
+        e.time_ns = reader.u64();
+        e.region = reader.string();
         trace.append(std::move(e));
         break;
       }
       case kMetric: {
         MetricEvent e;
-        e.time_ns = get_u64(in);
-        e.metric = get_u32(in);
-        e.value = get_f64(in);
+        e.time_ns = reader.u64();
+        e.metric = reader.u32();
+        if (e.metric >= trace.metrics().size()) {
+          reader.fail("metric id " + std::to_string(e.metric) +
+                      " out of range (have " +
+                      std::to_string(trace.metrics().size()) + ")");
+        }
+        e.value = reader.f64();
         trace.append(e);
         break;
       }
       default:
-        throw IoError("trace: unknown event kind " + std::to_string(kind));
+        reader.fail("unknown event kind " + std::to_string(kind));
     }
   }
+
+  const std::uint64_t expected = reader.checksum();
+  const std::uint64_t stored = reader.footer_u64();
+  if (stored != expected) {
+    reader.fail("checksum mismatch (file corrupt)");
+  }
   return trace;
+}
+
+}  // namespace
+
+Trace read_trace(std::istream& in) {
+  char magic[8];
+  if (!in.read(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    throw IoError("trace: bad magic (not an OTF2-lite v2 file)", 0, -1);
+  }
+
+  Reader reader(in);
+  // Trace's own mutators (append, define_metric) validate invariants like
+  // event chronology; a corrupt byte that violates one must still surface
+  // as a position-carrying IoError, not as the mutator's InvalidArgument.
+  try {
+    return read_body(reader);
+  } catch (const IoError&) {
+    throw;
+  } catch (const Error& e) {
+    reader.fail(std::string("invalid record: ") + e.what());
+  }
 }
 
 Trace read_trace_file(const std::string& path) {

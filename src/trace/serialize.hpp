@@ -1,9 +1,11 @@
 // Binary serialization of OTF2-lite traces.
 //
-// A compact little-endian format ("OTF2-lite v1"): magic, attribute table,
-// metric definitions, then the event stream. Mirrors OTF2's role of moving
-// traces between the acquisition machine and the analysis tooling; the
-// reader fully validates structure so corrupted files fail loudly instead of
+// A compact little-endian format ("OTF2-lite v2"): magic, attribute table,
+// metric definitions, the event stream, and an FNV-1a checksum footer over
+// the whole body. Mirrors OTF2's role of moving traces between the
+// acquisition machine and the analysis tooling; the reader fully validates
+// structure AND integrity, so any truncation or bit flip — including ones
+// inside numeric payloads that would parse fine — fails loudly instead of
 // producing silent garbage profiles.
 #pragma once
 
@@ -18,7 +20,9 @@ namespace pwx::trace {
 void write_trace(const Trace& trace, std::ostream& out);
 void write_trace_file(const Trace& trace, const std::string& path);
 
-/// Deserialize; throws pwx::IoError on malformed input.
+/// Deserialize; throws pwx::IoError on malformed, truncated, or corrupted
+/// input. The error carries the byte offset and event-record index where
+/// parsing stopped (IoError::byte_offset / record_index).
 Trace read_trace(std::istream& in);
 Trace read_trace_file(const std::string& path);
 

@@ -326,6 +326,28 @@ TEST(Ols, RankDeficientDesignThrows) {
   EXPECT_THROW(fit_ols(x, y, {}), NumericalError);
 }
 
+TEST(Ols, ZeroVarianceColumnThrows) {
+  // A constant predictor duplicates the intercept column: rank deficient,
+  // must be a typed error, never NaN coefficients.
+  la::Matrix x(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = 3.0;  // zero variance
+  }
+  std::vector<double> y(10, 1.0);
+  EXPECT_THROW(fit_ols(x, y, {}), NumericalError);
+}
+
+TEST(Ols, IdenticalColumnsThrow) {
+  la::Matrix x(12, 2);
+  for (std::size_t i = 0; i < 12; ++i) {
+    x(i, 0) = 0.5 + static_cast<double>(i);
+    x(i, 1) = x(i, 0);  // exact duplicate
+  }
+  std::vector<double> y(12, 2.0);
+  EXPECT_THROW(fit_ols(x, y, {}), NumericalError);
+}
+
 TEST(Ols, TooFewObservationsThrow) {
   la::Matrix x(3, 3);
   x(0, 0) = 1;

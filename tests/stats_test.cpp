@@ -260,6 +260,16 @@ TEST(KFold, InvalidParametersThrow) {
   EXPECT_THROW(k_fold_splits(5, 6, 0), InvalidArgument);
 }
 
+TEST(KFold, EmptyDatasetThrows) {
+  EXPECT_THROW(k_fold_splits(0, 2, 0), InvalidArgument);
+  EXPECT_THROW(k_fold_splits(0, 10, 0), InvalidArgument);
+  EXPECT_THROW(grouped_k_fold_splits({}, 2, 0), InvalidArgument);
+}
+
+TEST(KFold, MoreFoldsThanSamplesThrows) {
+  EXPECT_THROW(k_fold_splits(3, 10, 0), InvalidArgument);
+}
+
 TEST(KFold, GroupedKeepsGroupsTogether) {
   // 12 rows in 4 groups of 3.
   std::vector<std::size_t> groups;

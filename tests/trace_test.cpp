@@ -130,10 +130,69 @@ TEST(Serialize, CorruptedEventKindRejected) {
   write_trace(original, buffer);
   std::string data = buffer.str();
   // The final event is RegionExit{t, "phase_a"}: kind(1) + time(8) +
-  // length(4) + 7 characters = 20 bytes; flip its kind byte to garbage.
-  data[data.size() - 20] = 99;
+  // length(4) + 7 characters = 20 bytes, followed by the 8-byte checksum
+  // footer; flip the event's kind byte to garbage.
+  data[data.size() - 28] = 99;
   std::stringstream corrupted(data);
   EXPECT_THROW(read_trace(corrupted), IoError);
+}
+
+TEST(Serialize, ChecksumCatchesPayloadBitFlip) {
+  const Trace original = make_small_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  std::string data = buffer.str();
+  // Flip one bit inside the last metric value's f64 payload — structurally
+  // valid, so only the checksum can catch it.
+  data[data.size() - 30] ^= 0x01;
+  std::stringstream corrupted(data);
+  EXPECT_THROW(read_trace(corrupted), IoError);
+}
+
+TEST(Serialize, IoErrorCarriesByteOffsetAndRecordIndex) {
+  const Trace original = make_small_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  std::string data = buffer.str();
+  data.resize(data.size() - 12);  // cut into the final event
+  std::stringstream truncated(data);
+  try {
+    read_trace(truncated);
+    FAIL() << "truncated trace must not parse";
+  } catch (const IoError& e) {
+    EXPECT_GE(e.byte_offset(), 0);
+    EXPECT_GE(e.record_index(), 0);
+    EXPECT_EQ(e.code(), ErrorCode::Corruption);
+  }
+}
+
+// Every truncation and every bit flip must surface as a typed IoError —
+// read_trace may never return a silently partial Trace.
+TEST(Serialize, CorruptionSweepAlwaysFailsTyped) {
+  const sim::Engine engine = sim::Engine::haswell_ep();
+  sim::RunConfig rc;
+  rc.interval_s = 0.25;
+  rc.duration_scale = 0.1;
+  rc.seed = 7;
+  const auto workload = workloads::find_workload("md");
+  const auto run = engine.run(*workload, rc);
+  const Trace original = build_standard_trace(run, {pmc::Preset::TOT_CYC});
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  const std::string data = buffer.str();
+  ASSERT_GT(data.size(), 128u);
+
+  for (std::size_t cut = 0; cut < data.size(); cut += 64) {
+    std::string truncated = data.substr(0, cut);
+    std::stringstream in(truncated);
+    EXPECT_THROW(read_trace(in), IoError) << "truncation at byte " << cut;
+  }
+  for (std::size_t pos = 0; pos < data.size(); pos += 64) {
+    std::string flipped = data;
+    flipped[pos] ^= 0x10;
+    std::stringstream in(flipped);
+    EXPECT_THROW(read_trace(in), IoError) << "bit flip at byte " << pos;
+  }
 }
 
 TEST(Serialize, MissingFileThrows) {
