@@ -6,6 +6,7 @@
 #include "core/estimator.hpp"
 #include "core/model.hpp"
 #include "core/model_io.hpp"
+#include "obs/metrics.hpp"
 #include "repro_common.hpp"
 
 namespace {
@@ -48,6 +49,30 @@ void BM_EstimateSampleSmoothed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimateSampleSmoothed);
+
+// Telemetry overhead contract: the guarded path with metrics enabled must
+// stay within a few percent of the disabled path (bench_compare.py
+// --pair-suffix Telemetry --max-overhead enforces the bound in CI).
+void BM_EstimateSampleGuarded(benchmark::State& state) {
+  obs::set_enabled(false);
+  core::OnlineEstimator estimator(shared_model());
+  const core::CounterSample sample = sample_for_model(shared_model());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate_guarded(sample));
+  }
+}
+BENCHMARK(BM_EstimateSampleGuarded);
+
+void BM_EstimateSampleGuardedTelemetry(benchmark::State& state) {
+  obs::set_enabled(true);
+  core::OnlineEstimator estimator(shared_model());
+  const core::CounterSample sample = sample_for_model(shared_model());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate_guarded(sample));
+  }
+  obs::set_enabled(false);
+}
+BENCHMARK(BM_EstimateSampleGuardedTelemetry);
 
 void BM_TrainModel(benchmark::State& state) {
   const bench::StandardPipeline& p = bench::StandardPipeline::get();

@@ -96,7 +96,8 @@ int main() {
   const acquire::Dataset faulty = acquire::run_campaign(engine, config);
   const acquire::Dataset faulty_again = acquire::run_campaign(engine, config);
 
-  std::printf("\n%s\n", faulty.quality().summary().c_str());
+  std::printf("\n%s\n", faulty.quality().report().c_str());
+  std::printf("machine-readable: %s\n\n", faulty.quality().to_json().dump(-1).c_str());
 
   std::size_t distinct_kinds = 0;
   for (const auto& [name, count] : faulty.quality().fault_counts) {

@@ -33,6 +33,8 @@ int main() {
   const acquire::Dataset dataset = acquire::run_campaign(machine, config);
   std::printf("  %zu experiment rows, %zu counters each\n\n", dataset.size(),
               dataset.rows().front().counter_rates.size());
+  std::puts("acquisition quality:");
+  std::cout << dataset.quality().report() << "\n";
 
   // 2. PMC event selection (Algorithm 1 + stage-2 VIF control).
   core::SelectionOptions selection_options;

@@ -12,6 +12,8 @@
 #include "cpu/dvfs.hpp"
 #include "fault/fault.hpp"
 #include "fault/inject.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "trace/phase_profile.hpp"
 #include "trace/plugins.hpp"
 #include "trace/serialize.hpp"
@@ -19,6 +21,14 @@
 namespace pwx::acquire {
 
 namespace {
+
+/// Per-run wall-time distribution; observed inside the parallel loop, so the
+/// handle is resolved once here rather than per call.
+obs::Histogram& run_seconds_histogram() {
+  static obs::Histogram& h = obs::registry().histogram(
+      "campaign.run_seconds", {}, "wall time of one event-group run");
+  return h;
+}
 
 /// One (workload, frequency, threads) acquisition unit.
 struct Configuration {
@@ -188,6 +198,7 @@ UnitOutcome acquire_configuration(const sim::Engine& engine,
       outcome.runs_attempted += 1;
       const std::string site = make_site(unit, g, attempt);
       try {
+        const obs::ScopedTimer run_timer(run_seconds_histogram());
         per_run_profiles.push_back(execute_group_run(
             engine, config, unit, groups[g], injector, site, run_seed, outcome));
         group_ok = true;
@@ -241,6 +252,7 @@ UnitOutcome acquire_configuration(const sim::Engine& engine,
 }  // namespace
 
 Dataset run_campaign(const sim::Engine& engine, const CampaignConfig& config) {
+  PWX_SPAN("campaign.run_campaign");
   PWX_REQUIRE(!config.workloads.empty(), "campaign needs workloads");
   PWX_REQUIRE(!config.frequencies_ghz.empty(), "campaign needs frequencies");
   PWX_REQUIRE(!config.events.empty(), "campaign needs events to record");
@@ -273,6 +285,7 @@ Dataset run_campaign(const sim::Engine& engine, const CampaignConfig& config) {
   for (std::size_t i = 0; i < units.size(); ++i) {
     // Exceptions must not escape the OpenMP region; acquire_configuration
     // catches per-run failures, this catch is the backstop for setup errors.
+    PWX_SPAN("campaign.configuration");
     try {
       results[i] = acquire_configuration(engine, config, units[i],
                                          injector ? &*injector : nullptr);
@@ -320,6 +333,40 @@ Dataset run_campaign(const sim::Engine& engine, const CampaignConfig& config) {
                  " rows dropped");
   }
   dataset.set_quality(std::move(quality));
+
+  // Export the campaign's share of the process metrics. Aggregated once from
+  // the deterministic DataQuality numbers — identical totals whatever the
+  // OpenMP schedule did — so exported counters are reproducible across runs.
+  if (obs::enabled()) {
+    obs::MetricRegistry& reg = obs::registry();
+    static obs::Counter& c_campaigns =
+        reg.counter("campaign.campaigns", "campaigns executed");
+    static obs::Counter& c_configs =
+        reg.counter("campaign.configurations", "acquisition configurations processed");
+    static obs::Counter& c_quarantined = reg.counter(
+        "campaign.configurations_quarantined", "configurations dropped after retries");
+    static obs::Counter& c_attempted =
+        reg.counter("campaign.runs_attempted", "engine executions");
+    static obs::Counter& c_rejected =
+        reg.counter("campaign.runs_rejected", "failed or fault-flagged runs");
+    static obs::Counter& c_retried =
+        reg.counter("campaign.runs_retried", "re-executions with derived seeds");
+    static obs::Counter& c_rows =
+        reg.counter("campaign.rows_produced", "dataset rows surviving sanitization");
+    static obs::Counter& c_dropped =
+        reg.counter("campaign.rows_dropped", "rows removed by sanitization");
+    c_campaigns.add(1);
+    c_configs.add(dataset.quality().configurations_total);
+    c_quarantined.add(dataset.quality().configurations_quarantined);
+    c_attempted.add(dataset.quality().runs_attempted);
+    c_rejected.add(dataset.quality().runs_rejected);
+    c_retried.add(dataset.quality().runs_retried);
+    c_rows.add(dataset.size());
+    c_dropped.add(dataset.quality().sanitize.rows_dropped);
+    for (const auto& [name, count] : dataset.quality().fault_counts) {
+      reg.counter("campaign.fault." + name, "injected faults by kind").add(count);
+    }
+  }
   return dataset;
 }
 

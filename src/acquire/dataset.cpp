@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/table.hpp"
 
 namespace pwx::acquire {
 
@@ -32,6 +33,55 @@ std::string DataQuality::summary() const {
     os << '\n';
   }
   return os.str();
+}
+
+std::string DataQuality::report() const {
+  TablePrinter table({"metric", "value"});
+  table.row({"verdict", clean() ? "CLEAN" : "DEGRADED"});
+  table.row({"configurations total", std::to_string(configurations_total)});
+  table.row({"configurations quarantined",
+             std::to_string(configurations_quarantined)});
+  table.row({"runs attempted", std::to_string(runs_attempted)});
+  table.row({"runs rejected", std::to_string(runs_rejected)});
+  table.row({"runs retried", std::to_string(runs_retried)});
+  table.row({"rows checked", std::to_string(sanitize.rows_checked)});
+  table.row({"rows dropped", std::to_string(sanitize.rows_dropped)});
+  if (sanitize.rows_dropped > 0) {
+    table.row({"  power nonfinite", std::to_string(sanitize.nonfinite_power)});
+    table.row({"  power implausible", std::to_string(sanitize.implausible_power)});
+    table.row({"  voltage invalid", std::to_string(sanitize.invalid_voltage)});
+    table.row({"  elapsed invalid", std::to_string(sanitize.invalid_elapsed)});
+    table.row({"  rate invalid", std::to_string(sanitize.invalid_rate)});
+  }
+  for (const auto& [name, count] : fault_counts) {
+    table.row({"fault " + name, std::to_string(count)});
+  }
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+Json DataQuality::to_json() const {
+  Json out;
+  out["clean"] = clean();
+  out["configurations_total"] = configurations_total;
+  out["configurations_quarantined"] = configurations_quarantined;
+  out["runs_attempted"] = runs_attempted;
+  out["runs_rejected"] = runs_rejected;
+  out["runs_retried"] = runs_retried;
+  Json& sanitized = out["sanitize"];
+  sanitized["rows_checked"] = sanitize.rows_checked;
+  sanitized["rows_dropped"] = sanitize.rows_dropped;
+  sanitized["nonfinite_power"] = sanitize.nonfinite_power;
+  sanitized["implausible_power"] = sanitize.implausible_power;
+  sanitized["invalid_voltage"] = sanitize.invalid_voltage;
+  sanitized["invalid_elapsed"] = sanitize.invalid_elapsed;
+  sanitized["invalid_rate"] = sanitize.invalid_rate;
+  out["fault_counts"].make_object();
+  for (const auto& [name, count] : fault_counts) {
+    out["fault_counts"][name] = count;
+  }
+  return out;
 }
 
 double DataRow::rate_per_cycle(pmc::Preset preset) const {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "la/matrix.hpp"
 #include "pmc/events.hpp"
 #include "workloads/character.hpp"
@@ -68,6 +69,10 @@ struct DataQuality {
   }
   /// Multi-line human-readable report.
   std::string summary() const;
+  /// Aligned metric/value table (common/table formatting).
+  std::string report() const;
+  /// Every field as a JSON object, fault counts keyed by kind name.
+  Json to_json() const;
 };
 
 /// A set of experiment points plus dataset-level helpers.

@@ -1,13 +1,21 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
+#include <thread>
+
+#include "common/json.hpp"
 
 namespace pwx {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<LogFormat> g_format{LogFormat::Text};
+std::atomic<std::ostream*> g_stream{nullptr};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -20,15 +28,87 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+const char* level_slug(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+std::string iso8601_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
+std::string thread_id() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return os.str();
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void log_message(LogLevel level, const std::string& message) {
+void set_log_format(LogFormat format) {
+  g_format.store(format, std::memory_order_relaxed);
+}
+
+LogFormat log_format() { return g_format.load(std::memory_order_relaxed); }
+
+void set_log_stream(std::ostream* stream) {
+  g_stream.store(stream, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& message,
+                 const LogFields& fields) {
+  if (level < log_level()) {
+    return;
+  }
+  std::ostream* stream = g_stream.load(std::memory_order_relaxed);
+  std::ostream& out = stream != nullptr ? *stream : std::cerr;
+  if (log_format() == LogFormat::Json) {
+    // Build through the JSON value model so messages and field values are
+    // escaped correctly regardless of content.
+    Json::Object event;
+    event["ts"] = Json(iso8601_now());
+    event["level"] = Json(level_slug(level));
+    event["thread"] = Json(thread_id());
+    event["msg"] = Json(message);
+    for (const auto& [key, value] : fields) {
+      event[key] = Json(value);
+    }
+    const std::string line = Json(std::move(event)).dump(-1);
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    out << line << '\n';
+    return;
+  }
+  std::string line = message;
+  for (const auto& [key, value] : fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += value;
+  }
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[pwx " << level_name(level) << "] " << message << '\n';
+  out << "[pwx " << level_name(level) << "] " << line << '\n';
 }
 
 }  // namespace pwx

@@ -3,14 +3,34 @@
 // The library is quiet by default (Warn); tools and examples raise the level.
 // Logging is synchronized so that multi-threaded acquisition campaigns don't
 // interleave characters.
+//
+// Two sink formats are selectable at runtime:
+//
+//   * Text (default) — the classic "[pwx LEVEL] message" stderr line.
+//   * Json — one JSON object per line with timestamp (ISO 8601 UTC,
+//     millisecond precision), level, thread id, message, and any key=value
+//     fields the call site attached — the structured event log the obs
+//     telemetry layer routes its span/export events through.
+//
+// The output stream is also swappable (set_log_stream) so tests can capture
+// log output without touching stderr.
 #pragma once
 
+#include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pwx {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Output encoding of the log sink.
+enum class LogFormat { Text, Json };
+
+/// Structured key=value payload attached to one log event.
+using LogFields = std::vector<std::pair<std::string, std::string>>;
 
 /// Set the global threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
@@ -18,8 +38,17 @@ void set_log_level(LogLevel level);
 /// Current global threshold.
 LogLevel log_level();
 
-/// Emit one line to stderr with a level prefix (thread-safe).
-void log_message(LogLevel level, const std::string& message);
+/// Select the sink encoding (Text by default).
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+/// Redirect log output; nullptr restores the default (stderr).
+void set_log_stream(std::ostream* stream);
+
+/// Emit one line with a level prefix (thread-safe). Fields are appended as
+/// " key=value ..." in text mode and as JSON object members in JSON mode.
+void log_message(LogLevel level, const std::string& message,
+                 const LogFields& fields = {});
 
 namespace detail {
 template <typename... Parts>

@@ -4,8 +4,39 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pwx::core {
+
+namespace {
+
+// Metric handles for the guarded estimation path. The strict estimate()
+// fast path stays uninstrumented to honour the overhead contract.
+struct EstimatorMetrics {
+  obs::Counter& estimates;
+  obs::Counter& invalid_samples;
+  obs::Counter& clamped;
+  obs::Counter& health_transitions;
+  obs::Gauge& health;
+};
+
+EstimatorMetrics& estimator_metrics() {
+  static EstimatorMetrics m{
+      obs::registry().counter("estimator.estimates",
+                              "guarded power estimates produced"),
+      obs::registry().counter("estimator.invalid_samples",
+                              "samples rejected by the guarded estimator"),
+      obs::registry().counter("estimator.clamped",
+                              "raw estimates clamped into the guard range"),
+      obs::registry().counter("estimator.health_transitions",
+                              "estimator health-state changes"),
+      obs::registry().gauge("estimator.health",
+                            "estimator health (0=ok, 1=degraded, 2=failed)"),
+  };
+  return m;
+}
+
+}  // namespace
 
 OnlineEstimator::OnlineEstimator(PowerModel model, double smoothing,
                                  EstimatorGuards guards)
@@ -76,6 +107,8 @@ std::optional<double> OnlineEstimator::try_estimate(const CounterSample& sample)
 }
 
 double OnlineEstimator::estimate_guarded(const CounterSample& sample) {
+  const bool telemetry = obs::enabled();
+  const HealthState before = health_;
   const std::optional<double> raw = try_estimate(sample);
   if (raw.has_value()) {
     consecutive_invalid_ = 0;
@@ -83,6 +116,19 @@ double OnlineEstimator::estimate_guarded(const CounterSample& sample) {
     const double clamped = std::clamp(*raw, guards_.min_watts, guards_.max_watts);
     const double out = smooth(clamped);
     last_good_ = out;
+    if (telemetry) {
+      EstimatorMetrics& m = estimator_metrics();
+      m.estimates.add(1);
+      if (clamped != *raw) {
+        m.clamped.add(1);
+      }
+      // The gauge is only written on transitions to keep the steady-state
+      // cost of this hot path to one counter increment.
+      if (health_ != before) {
+        m.health_transitions.add(1);
+        m.health.set(static_cast<double>(health_));
+      }
+    }
     return out;
   }
   // Invalid sample: hold the last good estimate with a bounded staleness.
@@ -91,6 +137,15 @@ double OnlineEstimator::estimate_guarded(const CounterSample& sample) {
                 ? HealthState::Failed
                 : HealthState::Degraded;
   const double held = last_good_.value_or(guards_.min_watts);
+  if (telemetry) {
+    EstimatorMetrics& m = estimator_metrics();
+    m.estimates.add(1);
+    m.invalid_samples.add(1);
+    if (health_ != before) {
+      m.health_transitions.add(1);
+      m.health.set(static_cast<double>(health_));
+    }
+  }
   return std::clamp(held, guards_.min_watts, guards_.max_watts);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace pwx::core {
 
@@ -54,6 +55,26 @@ FleetSnapshot FleetEstimator::snapshot(double now_s) const {
     } else {
       snap.max_node_watts = std::max(snap.max_node_watts, state.last_estimate);
       snap.min_node_watts = std::min(snap.min_node_watts, state.last_estimate);
+    }
+  }
+  if (obs::enabled()) {
+    obs::MetricRegistry& reg = obs::registry();
+    reg.gauge("fleet.nodes_reporting", "nodes contributing to the fleet total")
+        .set(static_cast<double>(snap.nodes_reporting));
+    reg.gauge("fleet.nodes_stale", "nodes past the staleness horizon")
+        .set(static_cast<double>(snap.nodes_stale));
+    reg.gauge("fleet.nodes_degraded", "reporting nodes in DEGRADED health")
+        .set(static_cast<double>(snap.nodes_degraded));
+    reg.gauge("fleet.nodes_failed", "nodes excluded as FAILED")
+        .set(static_cast<double>(snap.nodes_failed));
+    reg.gauge("fleet.total_watts", "fleet-wide power estimate")
+        .set(snap.total_watts);
+    for (const auto& [name, state] : nodes_) {
+      const double staleness =
+          state.last_seen_s < 0.0 ? -1.0 : now_s - state.last_seen_s;
+      reg.gauge("fleet.node." + name + ".staleness_s",
+                "seconds since this node last reported (-1 = never)")
+          .set(staleness);
     }
   }
   return snap;

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace pwx::core {
 
@@ -18,6 +19,67 @@ double monotonic_seconds() {
 }
 
 bool finite_positive(double v) { return std::isfinite(v) && v > 0.0; }
+
+// Counters mirroring RobustSourceStats, plus the health gauge. Names line up
+// with the struct fields so dashboards and stats() agree.
+struct RobustMetrics {
+  obs::Counter& reads;
+  obs::Counter& read_errors;
+  obs::Counter& invalid_samples;
+  obs::Counter& overflow_corrections;
+  obs::Counter& watchdog_timeouts;
+  obs::Counter& held_samples;
+  obs::Counter& start_retries;
+  obs::Counter& health_transitions;
+  obs::Gauge& health;
+};
+
+RobustMetrics& robust_metrics() {
+  static RobustMetrics m{
+      obs::registry().counter("robust_source.reads", "clean samples delivered"),
+      obs::registry().counter("robust_source.read_errors",
+                              "inner-source reads that threw"),
+      obs::registry().counter("robust_source.invalid_samples",
+                              "samples rejected by sanitisation"),
+      obs::registry().counter("robust_source.overflow_corrections",
+                              "counter-wrap deltas corrected"),
+      obs::registry().counter("robust_source.watchdog_timeouts",
+                              "reads slower than the watchdog budget"),
+      obs::registry().counter("robust_source.held_samples",
+                              "stale samples re-served while degraded"),
+      obs::registry().counter("robust_source.start_retries",
+                              "start attempts that needed a retry"),
+      obs::registry().counter("robust_source.health_transitions",
+                              "robust source health-state changes"),
+      obs::registry().gauge("robust_source.health",
+                            "robust source health (0=ok, 1=degraded, 2=failed)"),
+  };
+  return m;
+}
+
+// Publishes the health gauge (and a transition tick) once per public call,
+// regardless of which early return fires.
+class HealthScope {
+ public:
+  explicit HealthScope(const HealthState& health)
+      : health_(health), before_(health) {}
+  HealthScope(const HealthScope&) = delete;
+  HealthScope& operator=(const HealthScope&) = delete;
+  ~HealthScope() {
+    if (!obs::enabled()) {
+      return;
+    }
+    RobustMetrics& m = robust_metrics();
+    if (health_ != before_) {
+      m.health_transitions.add(1);
+    }
+    m.health.set(static_cast<double>(health_));
+  }
+
+ private:
+  const HealthState& health_;
+  const HealthState before_;
+};
 
 }  // namespace
 
@@ -34,6 +96,7 @@ std::vector<pmc::Preset> RobustCounterSource::available_events() const {
 }
 
 void RobustCounterSource::start(const std::vector<pmc::Preset>& events) {
+  const HealthScope health_scope(health_);
   double backoff = config_.start_backoff_s;
   for (std::size_t attempt = 1;; ++attempt) {
     try {
@@ -51,6 +114,7 @@ void RobustCounterSource::start(const std::vector<pmc::Preset>& events) {
                              std::to_string(attempt) + " attempts");
       }
       stats_.start_retries += 1;
+      robust_metrics().start_retries.add(1);
       PWX_LOG_WARN("RobustCounterSource: start attempt ", attempt, " failed (",
                    e.what(), "), retrying");
       if (backoff > 0.0) {
@@ -75,6 +139,7 @@ std::optional<CounterSample> RobustCounterSource::sanitize(CounterSample sample)
     if (count < -0.5 * config_.counter_wrap) {
       count += config_.counter_wrap;
       stats_.overflow_corrections += 1;
+      robust_metrics().overflow_corrections.add(1);
     }
     if (count < 0.0) {
       return std::nullopt;
@@ -101,6 +166,7 @@ void RobustCounterSource::note_good() {
 }
 
 std::optional<CounterSample> RobustCounterSource::read() {
+  const HealthScope health_scope(health_);
   if (health_ == HealthState::Failed) {
     return std::nullopt;
   }
@@ -111,12 +177,14 @@ std::optional<CounterSample> RobustCounterSource::read() {
       raw = inner_.read();
     } catch (const Error& e) {
       stats_.read_errors += 1;
+      robust_metrics().read_errors.add(1);
       note_fault();
       PWX_LOG_DEBUG("RobustCounterSource: read threw (", e.what(), ")");
       continue;
     }
     if (monotonic_seconds() - begin > config_.read_timeout_s) {
       stats_.watchdog_timeouts += 1;
+      robust_metrics().watchdog_timeouts.add(1);
       note_fault();  // stalled reads degrade health, but the data may be good
     }
     if (!raw.has_value()) {
@@ -125,11 +193,13 @@ std::optional<CounterSample> RobustCounterSource::read() {
     std::optional<CounterSample> clean = sanitize(std::move(*raw));
     if (!clean.has_value()) {
       stats_.invalid_samples += 1;
+      robust_metrics().invalid_samples.add(1);
       note_fault();
       continue;
     }
     note_good();
     stats_.reads += 1;
+    robust_metrics().reads.add(1);
     last_good_ = clean;
     return clean;
   }
@@ -147,6 +217,7 @@ std::optional<CounterSample> RobustCounterSource::read() {
   }
   held_in_a_row_ += 1;
   stats_.held_samples += 1;
+  robust_metrics().held_samples.add(1);
   return last_good_;
 }
 

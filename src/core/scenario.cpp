@@ -2,12 +2,20 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "stats/kfold.hpp"
 #include "stats/metrics.hpp"
 
 namespace pwx::core {
 
 namespace {
+
+obs::Counter& scenario_counter() {
+  static obs::Counter& c = obs::registry().counter(
+      "scenario.evaluations", "train/validate scenario evaluations");
+  return c;
+}
 
 void append_points(ScenarioResult& result, const acquire::Dataset& validate,
                    const std::vector<double>& predicted) {
@@ -113,6 +121,8 @@ ScenarioResult scenario_random_workloads(const acquire::Dataset& dataset,
   }
   PWX_CHECK(train_names.size() == n_train, "stratified draw failed");
 
+  PWX_SPAN("scenario.random_workloads");
+  scenario_counter().add(1);
   ScenarioResult result;
   result.name = "scenario1_random_workloads";
   const acquire::Dataset train = dataset.filter_workloads(train_names);
@@ -125,6 +135,8 @@ ScenarioResult scenario_random_workloads(const acquire::Dataset& dataset,
 
 ScenarioResult scenario_synthetic_to_spec(const acquire::Dataset& dataset,
                                           const FeatureSpec& spec) {
+  PWX_SPAN("scenario.synthetic_to_spec");
+  scenario_counter().add(1);
   ScenarioResult result;
   result.name = "scenario2_synthetic_to_spec";
   const acquire::Dataset train = dataset.filter_suite(workloads::Suite::Roco2);
@@ -142,10 +154,15 @@ namespace {
 ScenarioResult kfold_scenario(std::string name, const acquire::Dataset& dataset,
                               const FeatureSpec& spec, std::size_t k,
                               std::uint64_t seed) {
+  PWX_SPAN("scenario.kfold");
+  scenario_counter().add(1);
+  static obs::Histogram& h_fold = obs::registry().histogram(
+      "scenario.fold_seconds", {}, "wall time of one scenario fold");
   ScenarioResult result;
   result.name = std::move(name);
   const std::vector<stats::Fold> folds = stats::k_fold_splits(dataset.size(), k, seed);
   for (const stats::Fold& fold : folds) {
+    const obs::ScopedTimer fold_timer(h_fold);
     const acquire::Dataset train = dataset.select_rows(fold.train);
     const acquire::Dataset validate = dataset.select_rows(fold.validate);
     const PowerModel model = train_model(train, spec);

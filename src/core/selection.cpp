@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "core/selection_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "regress/fast_fit.hpp"
 #include "regress/vif.hpp"
 
@@ -36,6 +38,18 @@ double selected_events_mean_vif(const la::Matrix& rates) {
 SelectionResult select_events(const acquire::Dataset& dataset,
                               const std::vector<pmc::Preset>& candidates,
                               const SelectionOptions& options) {
+  PWX_SPAN("selection.select_events");
+  static obs::Counter& c_calls =
+      obs::registry().counter("selection.calls", "select_events invocations");
+  static obs::Counter& c_scans = obs::registry().counter(
+      "selection.candidate_scans", "fast-gate candidate scores computed");
+  static obs::Counter& c_refits = obs::registry().counter(
+      "selection.exact_refits", "exact QR refits in the argmax pass");
+  static obs::Counter& c_gate_skips = obs::registry().counter(
+      "selection.gate_skips", "candidates skipped by the fast-score gate");
+  static obs::Histogram& h_step = obs::registry().histogram(
+      "selection.step_seconds", {}, "wall time of one greedy selection step");
+  c_calls.add(1);
   PWX_REQUIRE(!candidates.empty(), "selection needs candidate events");
   PWX_REQUIRE(options.count >= 1 && options.count <= candidates.size(),
               "cannot select ", options.count, " events from ", candidates.size(),
@@ -74,6 +88,8 @@ SelectionResult select_events(const acquire::Dataset& dataset,
   std::vector<double> fast(n_candidates);
 
   while (selected.size() < options.count) {
+    const obs::ScopedTimer step_timer(h_step);
+    c_scans.add(n_candidates - selected.size());
     // Gating pass: cheap approximate R² per remaining candidate. Each value
     // depends only on the committed factor and that candidate's cached
     // columns, so the loop parallelizes without changing any result.
@@ -102,10 +118,17 @@ SelectionResult select_events(const acquire::Dataset& dataset,
     regress::R2Fit best_fit;
     double best_vif = 0.0;
     std::vector<std::size_t> trial_events;
+    std::size_t exact_refits = 0;
+    std::size_t gate_skips = 0;
     for (std::size_t i = 0; i < n_candidates; ++i) {
-      if (used[i] || fast[i] + regress::kFastScoreGate <= best_r2) {
+      if (used[i]) {
         continue;
       }
+      if (fast[i] + regress::kFastScoreGate <= best_r2) {
+        gate_skips += 1;
+        continue;
+      }
+      exact_refits += 1;
       const regress::R2Fit trial = fit.score_registered(i, scratch);
       if (!trial.full_rank || trial.r_squared <= best_r2) {
         continue;  // collinear with the committed set, or no improvement
@@ -124,6 +147,8 @@ SelectionResult select_events(const acquire::Dataset& dataset,
       best_fit = trial;
       best_vif = trial_vif;
     }
+    c_refits.add(exact_refits);
+    c_gate_skips.add(gate_skips);
     PWX_CHECK(best_index < n_candidates,
               "no candidate event admits a full-rank fit within the VIF bound");
 

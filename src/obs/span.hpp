@@ -1,0 +1,128 @@
+// Scoped pipeline spans: RAII timers building a hierarchical timing profile.
+//
+//   void run() {
+//     PWX_SPAN("campaign.run_campaign");
+//     ...
+//     for (...) { PWX_SPAN("campaign.unit"); ... }
+//   }
+//
+// Nested spans concatenate their names into a slash-separated path
+// ("campaign.run_campaign/campaign.unit"), tracked per thread; on scope exit
+// the elapsed wall time is aggregated into the process-wide SpanRegistry
+// under that path (call count, total/min/max seconds). The profile is a tree
+// readable by sorting paths — the exporters in obs/export render it as an
+// indented table or JSON.
+//
+// Overhead: when telemetry is disabled a span costs one branch at
+// construction and one at destruction. When enabled, construction appends to
+// a thread-local path string and reads the steady clock; destruction takes
+// the registry mutex — spans are for pipeline stages (runs, folds, selection
+// steps), not per-sample hot paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pwx::obs {
+
+/// Aggregated timing of one span path.
+struct SpanStats {
+  std::string path;      ///< slash-separated nesting, e.g. "a/b"
+  std::uint64_t calls = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+
+  /// Nesting depth (number of separators).
+  std::size_t depth() const;
+  /// Last path component.
+  std::string_view name() const;
+};
+
+/// Process-wide span aggregation, path-sorted on read.
+class SpanRegistry {
+public:
+  SpanRegistry() = default;
+  SpanRegistry(const SpanRegistry&) = delete;
+  SpanRegistry& operator=(const SpanRegistry&) = delete;
+
+  /// Fold one completed span into the profile (thread-safe). Exposed so
+  /// tests and replayers can record deterministic durations directly.
+  void record(std::string_view path, double seconds);
+
+  /// Path-sorted copy of the profile.
+  std::vector<SpanStats> profile() const;
+
+  void reset();
+
+private:
+  struct Cell {
+    std::uint64_t calls = 0;
+    double total_s = 0.0;
+    double min_s = 0.0;
+    double max_s = 0.0;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Cell, std::less<>> cells_;
+};
+
+/// The process-wide span registry (sibling of obs::registry()).
+SpanRegistry& spans();
+
+/// RAII scope timer. Inactive (two branches total) while telemetry is
+/// disabled; activation is decided at construction, so toggling the global
+/// switch mid-scope never unbalances the thread-local path stack.
+class Span {
+public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+private:
+  bool active_ = false;
+  std::size_t parent_length_ = 0;  ///< thread path length to restore
+  double start_s_ = 0.0;
+};
+
+/// Monotonic wall clock in seconds (steady_clock); the time base all obs
+/// timings share.
+double monotonic_s();
+
+/// RAII duration recorder into a Histogram — the histogram sibling of Span
+/// for sites that want a distribution rather than a tree. Inactive (one
+/// branch each way, no clock read) while telemetry is disabled.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Histogram& histogram) : histogram_(histogram) {
+    if (enabled()) {
+      active_ = true;
+      start_s_ = monotonic_s();
+    }
+  }
+  ~ScopedTimer() {
+    if (active_) {
+      histogram_.observe(monotonic_s() - start_s_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+  Histogram& histogram_;
+  bool active_ = false;
+  double start_s_ = 0.0;
+};
+
+}  // namespace pwx::obs
+
+#define PWX_OBS_CONCAT2(a, b) a##b
+#define PWX_OBS_CONCAT(a, b) PWX_OBS_CONCAT2(a, b)
+/// Time the enclosing scope as an obs span.
+#define PWX_SPAN(name) ::pwx::obs::Span PWX_OBS_CONCAT(pwx_obs_span_, __LINE__)(name)

@@ -5,10 +5,14 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace pwx::stats {
 
 std::vector<Fold> k_fold_splits(std::size_t n, std::size_t k, std::uint64_t seed) {
+  static obs::Counter& c_splits =
+      obs::registry().counter("kfold.splits", "k-fold split computations");
+  c_splits.add(1);
   PWX_REQUIRE(k >= 2 && k <= n, "k-fold needs 2 <= k <= n, got k=", k, " n=", n);
   Rng rng(seed);
   const std::vector<std::size_t> perm = rng.permutation(n);
@@ -35,6 +39,9 @@ std::vector<Fold> k_fold_splits(std::size_t n, std::size_t k, std::uint64_t seed
 
 std::vector<Fold> grouped_k_fold_splits(const std::vector<std::size_t>& groups,
                                         std::size_t k, std::uint64_t seed) {
+  static obs::Counter& c_splits = obs::registry().counter(
+      "kfold.grouped_splits", "group-aware k-fold split computations");
+  c_splits.add(1);
   PWX_REQUIRE(!groups.empty(), "grouped k-fold needs a non-empty group vector");
   // Collect members per distinct group.
   std::map<std::size_t, std::vector<std::size_t>> members;

@@ -373,5 +373,76 @@ TEST(Log, LevelFiltering) {
   set_log_level(before);
 }
 
+// Capture log output into a string, restoring global state on destruction.
+class LogCapture {
+public:
+  LogCapture() : level_(log_level()), format_(log_format()) {
+    set_log_stream(&stream_);
+  }
+  ~LogCapture() {
+    set_log_stream(nullptr);
+    set_log_format(format_);
+    set_log_level(level_);
+  }
+  std::string text() const { return stream_.str(); }
+
+private:
+  std::ostringstream stream_;
+  LogLevel level_;
+  LogFormat format_;
+};
+
+TEST(Log, MessagesBelowThresholdAreDiscarded) {
+  LogCapture capture;
+  set_log_level(LogLevel::Warn);
+  log_message(LogLevel::Debug, "dropped");
+  log_message(LogLevel::Info, "dropped too");
+  log_message(LogLevel::Warn, "kept");
+  log_message(LogLevel::Error, "kept too");
+  EXPECT_EQ(capture.text().find("dropped"), std::string::npos);
+  EXPECT_NE(capture.text().find("kept"), std::string::npos);
+  EXPECT_NE(capture.text().find("kept too"), std::string::npos);
+}
+
+TEST(Log, TextModeAppendsFields) {
+  LogCapture capture;
+  set_log_level(LogLevel::Info);
+  set_log_format(LogFormat::Text);
+  log_message(LogLevel::Info, "campaign done",
+              {{"rows", "42"}, {"verdict", "clean"}});
+  EXPECT_NE(capture.text().find("[pwx INFO ]"), std::string::npos);
+  EXPECT_NE(capture.text().find("campaign done"), std::string::npos);
+  EXPECT_NE(capture.text().find("rows=42"), std::string::npos);
+  EXPECT_NE(capture.text().find("verdict=clean"), std::string::npos);
+}
+
+TEST(Log, JsonModeEmitsOneParseableObjectPerLine) {
+  LogCapture capture;
+  set_log_level(LogLevel::Info);
+  set_log_format(LogFormat::Json);
+  log_message(LogLevel::Info, "flush \"quoted\"", {{"seq", "3"}});
+  log_message(LogLevel::Warn, "second");
+
+  std::istringstream lines(capture.text());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const Json first = Json::parse(line);
+  EXPECT_EQ(first.at("level").as_string(), "info");
+  EXPECT_EQ(first.at("msg").as_string(), "flush \"quoted\"");
+  EXPECT_EQ(first.at("seq").as_string(), "3");
+  EXPECT_FALSE(first.at("ts").as_string().empty());
+  EXPECT_FALSE(first.at("thread").as_string().empty());
+  // ISO 8601 UTC with millisecond precision: 2026-01-02T03:04:05.678Z.
+  const std::string& ts = first.at("ts").as_string();
+  EXPECT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(Json::parse(line).at("level").as_string(), "warn");
+  EXPECT_FALSE(std::getline(lines, line));  // exactly two lines
+}
+
 }  // namespace
 }  // namespace pwx

@@ -58,6 +58,19 @@ def main(argv):
         help="regex; only matching benchmark names are held to --min-speedup "
         "(everything is still printed)",
     )
+    parser.add_argument(
+        "--pair-suffix",
+        default=None,
+        help="compare each '<name><suffix>' benchmark against its '<name>' "
+        "sibling from the same run (telemetry on vs off)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        help="with --pair-suffix: fail when the suffixed benchmark is more "
+        "than this many percent slower than its sibling",
+    )
     args = parser.parse_args(argv)
     name_filter = re.compile(args.filter) if args.filter else None
 
@@ -96,12 +109,40 @@ def main(argv):
         ):
             failed.append((name, speedup))
 
-    if failed:
+    pair_failed = []
+    if args.pair_suffix:
+        # Median over repetitions: run the pair gate with
+        # --benchmark_repetitions and --benchmark_enable_random_interleaving
+        # so both sides sample the same machine conditions.
+        samples = {}
+        for name, _base, cur_ms, _speedup in rows:
+            samples.setdefault(name, []).append(cur_ms)
+        current = {
+            name: sorted(times)[len(times) // 2] for name, times in samples.items()
+        }
+        for name in sorted(current):
+            if not name.endswith(args.pair_suffix):
+                continue
+            sibling = name[: -len(args.pair_suffix)]
+            if sibling not in current or current[sibling] <= 0:
+                continue
+            overhead = (current[name] / current[sibling] - 1.0) * 100.0
+            print(f"pair {sibling}: {args.pair_suffix} overhead {overhead:+.2f}%")
+            if args.max_overhead is not None and overhead > args.max_overhead:
+                pair_failed.append((name, sibling, overhead))
+
+    if failed or pair_failed:
         print()
         for name, speedup in failed:
             print(
                 f"FAIL: {name} speedup {speedup:.2f}x below required "
                 f"{args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+        for name, sibling, overhead in pair_failed:
+            print(
+                f"FAIL: {name} is {overhead:.2f}% slower than {sibling} "
+                f"(limit {args.max_overhead:.2f}%)",
                 file=sys.stderr,
             )
         return 1

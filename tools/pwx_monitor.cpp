@@ -1,0 +1,208 @@
+// pwx-monitor — live power estimation with telemetry streaming.
+//
+// Trains the paper's model once, then streams a (simulated) counter source
+// through the guarded online estimator, emitting one JSON line per sample
+// (estimate, measured reference, health) interleaved with periodic
+// obs::TelemetrySink metric snapshots. With --faults the source is wrapped
+// in the seeded chaos decorator and hardened by RobustCounterSource, so the
+// exported metrics show retries, clamps, and health transitions live.
+//
+// Usage:
+//   pwx-monitor [--workload NAME] [--threads N] [--samples N]
+//               [--interval-s X] [--format jsonl|prometheus|table]
+//               [--faults SEED [--intensity X]] [--no-robust]
+//               [--log-json] [--spans]
+//
+// Time is stream time (the sum of sample intervals), not wall time, so the
+// output is deterministic for a given seed and replays faithfully in tests.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "acquire/campaign.hpp"
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "core/estimator.hpp"
+#include "core/health.hpp"
+#include "core/model.hpp"
+#include "core/robust_source.hpp"
+#include "core/selection.hpp"
+#include "fault/fault.hpp"
+#include "host/faulty_source.hpp"
+#include "host/sim_source.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "sim/engine.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload NAME] [--threads N] [--samples N]\n"
+               "          [--interval-s X] [--format jsonl|prometheus|table]\n"
+               "          [--faults SEED [--intensity X]] [--no-robust]\n"
+               "          [--log-json] [--spans]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pwx;
+
+  std::string workload_name = "mgrid331";
+  std::size_t threads = 24;
+  std::size_t max_samples = 0;  // 0 = drain the stream
+  double interval_s = 1.0;
+  obs::ExportFormat format = obs::ExportFormat::Jsonl;
+  std::optional<std::uint64_t> fault_seed;
+  double intensity = 1.0;
+  bool robust = true;
+  bool spans = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload_name = next();
+    } else if (arg == "--threads") {
+      threads = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--samples") {
+      max_samples = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--interval-s") {
+      interval_s = std::strtod(next(), nullptr);
+    } else if (arg == "--format") {
+      const std::string v = next();
+      if (v == "jsonl") {
+        format = obs::ExportFormat::Jsonl;
+      } else if (v == "prometheus") {
+        format = obs::ExportFormat::Prometheus;
+      } else if (v == "table") {
+        format = obs::ExportFormat::Table;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--faults") {
+      fault_seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--intensity") {
+      intensity = std::strtod(next(), nullptr);
+    } else if (arg == "--no-robust") {
+      robust = false;
+    } else if (arg == "--log-json") {
+      set_log_format(LogFormat::Json);
+    } else if (arg == "--spans") {
+      spans = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    obs::set_enabled(true);
+
+    const auto workload = workloads::find_workload(workload_name);
+    if (!workload) {
+      std::fprintf(stderr, "unknown workload '%s'\n", workload_name.c_str());
+      return 1;
+    }
+
+    log_message(LogLevel::Info, "training model",
+                {{"workload", workload_name}, {"threads", std::to_string(threads)}});
+    core::SelectionOptions opt;
+    opt.count = 6;
+    opt.max_mean_vif = 8.0;
+    core::FeatureSpec spec;
+    spec.events = core::select_events(acquire::standard_selection_dataset(),
+                                      pmc::haswell_ep_available_events(), opt)
+                      .selected();
+    core::OnlineEstimator estimator(
+        core::train_model(acquire::standard_training_dataset(), spec),
+        /*smoothing=*/0.3);
+
+    const sim::Engine machine = sim::Engine::haswell_ep();
+    sim::RunConfig rc;
+    rc.threads = threads;
+    rc.interval_s = 0.25;
+    rc.seed = 2026;
+    host::SimulatedCounterSource sim_source(machine, *workload, rc);
+
+    core::CounterSource* source = &sim_source;
+    std::unique_ptr<host::FaultyCounterSource> chaos;
+    if (fault_seed.has_value()) {
+      chaos = std::make_unique<host::FaultyCounterSource>(
+          *source, fault::FaultPlan::escalating(*fault_seed, intensity));
+      source = chaos.get();
+      log_message(LogLevel::Info, "fault injection armed",
+                  {{"seed", std::to_string(*fault_seed)},
+                   {"intensity", format_double(intensity, 3)}});
+    }
+    std::unique_ptr<core::RobustCounterSource> hardened;
+    if (robust) {
+      hardened = std::make_unique<core::RobustCounterSource>(*source);
+      source = hardened.get();
+    }
+    source->start(estimator.required_events());
+
+    obs::TelemetrySinkConfig sink_config;
+    sink_config.interval_s = interval_s;
+    sink_config.format = format;
+    sink_config.include_spans = spans;
+    obs::TelemetrySink sink(std::cout, sink_config);
+
+    double stream_t = 0.0;
+    std::size_t produced = 0;
+    while (max_samples == 0 || produced < max_samples) {
+      const auto sample = source->read();
+      if (!sample.has_value()) {
+        break;
+      }
+      const double estimate = estimator.estimate_guarded(*sample);
+      stream_t += sample->elapsed_s;
+      produced += 1;
+
+      Json line;
+      line["event"] = "estimate";
+      line["t_s"] = stream_t;
+      line["watts"] = estimate;
+      line["measured_watts"] = sim_source.last_interval_power();
+      line["health"] = std::string(core::health_name(estimator.health()));
+      if (hardened) {
+        line["source_health"] =
+            std::string(core::health_name(hardened->health()));
+      }
+      std::cout << line.dump(-1) << "\n";
+      sink.maybe_flush(stream_t);
+    }
+    sink.flush(stream_t);
+
+    log_message(LogLevel::Info, "stream finished",
+                {{"samples", std::to_string(produced)},
+                 {"stream_seconds", format_double(stream_t, 2)},
+                 {"flushes", std::to_string(sink.flushes())}});
+    if (chaos) {
+      for (const auto& [kind, count] : chaos->injected()) {
+        log_message(LogLevel::Info, "fault injected",
+                    {{"kind", kind}, {"count", std::to_string(count)}});
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -4,6 +4,10 @@
 //   pwx-trace-dump <trace.otf2l>                 # summary + phase profiles
 //   pwx-trace-dump <trace.otf2l> --events [N]    # raw event stream (first N)
 //   pwx-trace-dump <trace.otf2l> --csv           # metric samples as CSV
+//   pwx-trace-dump <trace.otf2l> --json          # summary + profiles as JSON
+//
+// Exit codes: 0 ok, 1 generic error, 2 usage, 3 corrupt/truncated trace
+// (the IoError diagnosis — byte offset and record index — goes to stderr).
 //
 // The post-processing path is exactly the library's phase-profile builder,
 // so what this tool prints is what the modeling pipeline consumes.
@@ -13,6 +17,8 @@
 #include <iostream>
 
 #include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -70,6 +76,40 @@ int print_events(const trace::Trace& t, std::size_t limit) {
   return 0;
 }
 
+int print_json(const trace::Trace& t) {
+  Json out;
+  for (const auto& [key, value] : t.attributes()) {
+    out["attributes"][key] = value;
+  }
+  Json::Array metrics;
+  for (const trace::MetricDefinition& m : t.metrics()) {
+    Json metric;
+    metric["name"] = m.name;
+    metric["unit"] = m.unit;
+    metric["mode"] = m.mode == trace::MetricMode::AsyncAverage    ? "async-avg"
+                     : m.mode == trace::MetricMode::AsyncInstant  ? "async-inst"
+                                                                  : "counter";
+    metrics.push_back(std::move(metric));
+  }
+  out["metrics"] = std::move(metrics);
+  out["events"] = t.events().size();
+  Json::Array profiles;
+  for (const trace::PhaseProfile& p : trace::build_phase_profiles(t)) {
+    Json profile;
+    profile["phase"] = p.phase;
+    profile["elapsed_s"] = p.elapsed_s;
+    profile["avg_power_watts"] = p.avg_power_watts;
+    profile["avg_voltage"] = p.avg_voltage;
+    for (const auto& [preset, rate] : p.counter_rates) {
+      profile["counter_rates"][std::string(pmc::preset_name(preset))] = rate;
+    }
+    profiles.push_back(std::move(profile));
+  }
+  out["phase_profiles"] = std::move(profiles);
+  std::cout << out.dump() << "\n";
+  return 0;
+}
+
 int print_csv(const trace::Trace& t) {
   CsvWriter csv(std::cout);
   csv.header({"time_s", "metric", "value"});
@@ -88,7 +128,8 @@ int print_csv(const trace::Trace& t) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <trace.otf2l> [--events [N] | --csv]\n", argv[0]);
+                 "usage: %s <trace.otf2l> [--events [N] | --csv | --json]\n",
+                 argv[0]);
     return 2;
   }
   try {
@@ -101,7 +142,21 @@ int main(int argc, char** argv) {
     if (argc >= 3 && std::strcmp(argv[2], "--csv") == 0) {
       return print_csv(t);
     }
+    if (argc >= 3 && std::strcmp(argv[2], "--json") == 0) {
+      return print_json(t);
+    }
     return print_summary(t);
+  } catch (const pwx::IoError& e) {
+    std::fprintf(stderr, "corrupt trace: %s\n", e.what());
+    if (e.byte_offset() >= 0) {
+      std::fprintf(stderr, "  byte offset:  %lld\n",
+                   static_cast<long long>(e.byte_offset()));
+    }
+    if (e.record_index() >= 0) {
+      std::fprintf(stderr, "  record index: %lld\n",
+                   static_cast<long long>(e.record_index()));
+    }
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
