@@ -1,0 +1,143 @@
+// Performance of the fleet-scale deployment path: per-sample ingest
+// throughput and snapshot latency of the FleetEstimator, plus the dense
+// single-sample estimate. At datacenter scale the per-sample budget is a
+// handful of FMAs, so ingest and snapshot costs are the numbers that decide
+// how many nodes one aggregator process can serve.
+//
+// BM_FleetIngest/N ingests one sample per node for N nodes (one "round" of
+// fleet telemetry); BM_FleetSnapshot aggregates a 100k-node fleet. The
+// checked-in perf_baseline.json entries were captured on the map-based
+// pre-optimization FleetEstimator; tools/bench_compare.py (bench_fleet_gate
+// target) holds the current code to >=5x on ingest/100k and >=10x on
+// snapshot.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acquire/dataset.hpp"
+#include "common/rng.hpp"
+#include "core/estimator.hpp"
+#include "core/fleet.hpp"
+#include "core/model.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace pwx;
+
+// A small synthetic-trained 6-event model: the bench measures the serving
+// path, not training, so the training set just needs full rank.
+const core::PowerModel& fleet_model() {
+  static const core::PowerModel model = [] {
+    const std::vector<pmc::Preset> events{
+        pmc::Preset::TOT_INS, pmc::Preset::L2_TCM,  pmc::Preset::BR_MSP,
+        pmc::Preset::RES_STL, pmc::Preset::FP_INS,  pmc::Preset::L3_TCM,
+    };
+    Rng rng(0xF1EE7);
+    acquire::Dataset ds;
+    for (std::size_t i = 0; i < 64; ++i) {
+      acquire::DataRow row;
+      row.workload = "synthetic";
+      row.phase = "p" + std::to_string(i);
+      row.frequency_ghz = 2.0 + 0.2 * static_cast<double>(i % 4);
+      row.avg_voltage = 0.9 + 0.05 * static_cast<double>(i % 3);
+      row.elapsed_s = 1.0;
+      double power = 60.0;
+      for (std::size_t e = 0; e < events.size(); ++e) {
+        const double rate = (1.0 + rng.uniform()) * 1e8 * static_cast<double>(e + 1);
+        row.counter_rates[events[e]] = rate;
+        power += rate * 1e-8 * (0.5 + 0.1 * static_cast<double>(e));
+      }
+      row.avg_power_watts = power + rng.uniform();
+      ds.append(row);
+    }
+    core::FeatureSpec spec;
+    spec.events = events;
+    return core::train_model(ds, spec);
+  }();
+  return model;
+}
+
+core::CounterSample sample_for_node(std::uint64_t node) {
+  core::CounterSample sample;
+  sample.elapsed_s = 0.25;
+  sample.frequency_ghz = 2.4;
+  sample.voltage = 0.95 + 0.0001 * static_cast<double>(node % 512);
+  double scale = 0.5 + 0.001 * static_cast<double>(node % 1024);
+  for (pmc::Preset p : fleet_model().spec().events) {
+    sample.counts[p] = 2.5e7 * scale;
+    scale *= 1.7;
+  }
+  return sample;
+}
+
+// One telemetry round via the batch API: every node of an N-node fleet
+// reports one sample. Node names are interned once at setup (as a deployment
+// would at node discovery); the timed loop is handle-based dense ingest.
+void BM_FleetIngest(benchmark::State& state) {
+  obs::set_enabled(false);
+  const auto node_count = static_cast<std::size_t>(state.range(0));
+  core::FleetEstimator fleet(fleet_model(), /*smoothing=*/0.2,
+                             /*staleness_horizon_s=*/1e12);
+  std::vector<core::NodeSample> batch(node_count);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    batch[n].node = fleet.intern("node" + std::to_string(n));
+    batch[n].now_s = 0.0;
+    fleet.layout().to_dense_guarded(sample_for_node(n), batch[n].sample);
+  }
+  fleet.ingest_batch(batch);  // registration round outside timing
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1.0;
+    for (core::NodeSample& ns : batch) {
+      ns.now_s = now;
+    }
+    benchmark::DoNotOptimize(fleet.ingest_batch(batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(node_count));
+}
+BENCHMARK(BM_FleetIngest)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+// Aggregate over a 100k-node fleet where every node is fresh.
+void BM_FleetSnapshot(benchmark::State& state) {
+  obs::set_enabled(false);
+  constexpr std::size_t kNodes = 100000;
+  core::FleetEstimator fleet(fleet_model(), /*smoothing=*/0.0,
+                             /*staleness_horizon_s=*/1e12);
+  std::vector<core::NodeSample> batch(kNodes);
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    batch[n].node = fleet.intern("node" + std::to_string(n));
+    batch[n].now_s = 0.0;
+    fleet.layout().to_dense_guarded(sample_for_node(n), batch[n].sample);
+  }
+  fleet.ingest_batch(batch);
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1.0;
+    const core::FleetSnapshot snap = fleet.snapshot(now);
+    benchmark::DoNotOptimize(snap.total_watts);
+  }
+}
+BENCHMARK(BM_FleetSnapshot)->Unit(benchmark::kMillisecond);
+
+// The dense single-sample path (what one ingest costs after the batch
+// machinery): a coefficient dot product, no map traffic.
+void BM_EstimateDense(benchmark::State& state) {
+  obs::set_enabled(false);
+  core::OnlineEstimator estimator(fleet_model());
+  const core::DenseSample sample =
+      estimator.layout().to_dense(sample_for_node(7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(sample));
+  }
+}
+BENCHMARK(BM_EstimateDense);
+
+}  // namespace

@@ -8,6 +8,7 @@
 // quantifies how well a node model transfers to a fleet.
 //
 // Build & run:  ./build/examples/cluster_estimation [nodes]
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
   // node-specific workload at a node-specific operating point.
   const std::vector<workloads::Workload> all = workloads::all_workloads();
   struct Node {
-    std::string name;
+    core::NodeId id;
     sim::Engine engine;
     host::SimulatedCounterSource source;
   };
@@ -60,8 +61,9 @@ int main(int argc, char** argv) {
     host::SimulatedCounterSource source(engine, workload, rc);
     std::printf("  node%02zu: %-12s @ %.1f GHz\n", n, workload.name.c_str(),
                 rc.frequency_ghz);
-    nodes.push_back(Node{"node" + std::to_string(n), std::move(engine),
-                         std::move(source)});
+    // Intern once at node discovery; the telemetry loop is handle-based.
+    nodes.push_back(Node{fleet.intern("node" + std::to_string(n)),
+                         std::move(engine), std::move(source)});
   }
   for (Node& node : nodes) {
     node.source.start(model.spec().events);
@@ -70,21 +72,26 @@ int main(int argc, char** argv) {
   std::puts("\n  t[s]   nodes  est. total [W]  true total [W]  error");
   double now = 0.0;
   bool any = true;
+  std::vector<core::NodeSample> batch;
+  core::DenseSample dense = fleet.layout().make_sample();
   while (any) {
     any = false;
     double true_total = 0.0;
-    std::size_t live = 0;
+    batch.clear();
+    // Collect one telemetry round, then ingest it as a single batch — one
+    // lock acquisition per shard instead of one per sample.
     for (Node& node : nodes) {
       if (const auto sample = node.source.read()) {
-        fleet.ingest(node.name, *sample, now);
+        fleet.layout().to_dense_guarded(*sample, dense);
+        batch.push_back(core::NodeSample{node.id, now, dense});
         true_total += node.source.last_interval_power();
-        ++live;
         any = true;
       }
     }
     if (!any) {
       break;
     }
+    fleet.ingest_batch(batch);
     now += 0.5;
     const core::FleetSnapshot snap = fleet.snapshot(now);
     std::printf("  %5.1f  %5zu  %14.1f  %14.1f  %+5.1f%%\n", now,
@@ -93,7 +100,11 @@ int main(int argc, char** argv) {
   }
 
   const core::FleetSnapshot final_snap = fleet.snapshot(now);
-  std::printf("\nfinal fleet spread: min node %.1f W, max node %.1f W\n",
-              final_snap.min_node_watts, final_snap.max_node_watts);
+  if (std::isnan(final_snap.min_node_watts)) {
+    std::puts("\nfinal fleet spread: no node reporting");
+  } else {
+    std::printf("\nfinal fleet spread: min node %.1f W, max node %.1f W\n",
+                final_snap.min_node_watts, final_snap.max_node_watts);
+  }
   return 0;
 }

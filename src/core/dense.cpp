@@ -1,0 +1,130 @@
+#include "core/dense.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/estimator.hpp"
+
+namespace pwx::core {
+
+ModelLayout::ModelLayout(const PowerModel& model) {
+  const FeatureSpec& spec = model.spec();
+  const regress::OlsResult& fit = model.fit();
+  PWX_REQUIRE(spec.events.size() <= std::numeric_limits<std::int16_t>::max(),
+              "model has too many events for a dense layout");
+  const std::size_t expected =
+      spec.column_count() + (fit.has_intercept ? 1 : 0);
+  PWX_REQUIRE(fit.beta.size() == expected, "model fit has ", fit.beta.size(),
+              " coefficients, spec expects ", expected);
+
+  events_ = spec.events;
+  per_cycle_ = spec.normalization == RateNormalization::PerCycle;
+  slot_table_.fill(-1);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    slot_table_[static_cast<std::size_t>(events_[i])] =
+        static_cast<std::int16_t>(i);
+  }
+
+  // Flatten the coefficient vector: [δ?][α_n ...][β?][γ?].
+  std::size_t c = fit.has_intercept ? 1 : 0;
+  intercept_ = fit.has_intercept ? fit.beta[0] : 0.0;
+  coef_.resize(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    coef_[i] = fit.beta[c++];
+  }
+  has_dyn_ = spec.include_dynamic_base;
+  if (has_dyn_) {
+    dyn_coef_ = fit.beta[c++];
+  }
+  has_static_ = spec.include_static_v;
+  if (has_static_) {
+    static_coef_ = fit.beta[c++];
+  }
+}
+
+DenseSample ModelLayout::make_sample() const {
+  DenseSample s;
+  s.counts.resize(slots(), 0.0);
+  return s;
+}
+
+void ModelLayout::to_dense(const CounterSample& sample, DenseSample& out) const {
+  out.elapsed_s = sample.elapsed_s;
+  out.frequency_ghz = sample.frequency_ghz;
+  out.voltage = sample.voltage;
+  out.counts.resize(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto it = sample.counts.find(events_[i]);
+    PWX_REQUIRE(it != sample.counts.end(), "sample lacks event ",
+                std::string(pmc::preset_name(events_[i])));
+    out.counts[i] = it->second;
+  }
+}
+
+DenseSample ModelLayout::to_dense(const CounterSample& sample) const {
+  DenseSample out;
+  to_dense(sample, out);
+  return out;
+}
+
+void ModelLayout::to_dense_guarded(const CounterSample& sample,
+                                   DenseSample& out) const {
+  out.elapsed_s = sample.elapsed_s;
+  out.frequency_ghz = sample.frequency_ghz;
+  out.voltage = sample.voltage;
+  out.counts.resize(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto it = sample.counts.find(events_[i]);
+    out.counts[i] = it == sample.counts.end()
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : it->second;
+  }
+}
+
+double ModelLayout::predict(const DenseSample& sample) const {
+  PWX_REQUIRE(sample.counts.size() == events_.size(), "dense sample has ",
+              sample.counts.size(), " counts, layout has ", events_.size(),
+              " slots");
+  // Operation-for-operation replay of build_features_row + OlsResult::predict
+  // (rate, per-cycle normalization, x = rate·V²f, accumulate in column
+  // order) so the result is bit-identical to the map-based path.
+  const double v = sample.voltage;
+  const double f = sample.frequency_ghz;
+  const double v2f = v * v * f;
+  double acc = intercept_;
+  for (std::size_t i = 0; i < coef_.size(); ++i) {
+    const double rate = sample.counts[i] / sample.elapsed_s;
+    const double per = per_cycle_ ? rate / (f * 1e9) : rate / 1e9;
+    acc += coef_[i] * (per * v2f);
+  }
+  if (has_dyn_) {
+    acc += dyn_coef_ * v2f;
+  }
+  if (has_static_) {
+    acc += static_coef_ * v;
+  }
+  return acc;
+}
+
+std::optional<double> ModelLayout::try_predict(const DenseSample& sample) const {
+  const auto finite_positive = [](double x) { return std::isfinite(x) && x > 0.0; };
+  if (!finite_positive(sample.elapsed_s) ||
+      !finite_positive(sample.frequency_ghz) ||
+      !finite_positive(sample.voltage) ||
+      sample.counts.size() != events_.size()) {
+    return std::nullopt;
+  }
+  for (const double c : sample.counts) {
+    if (!std::isfinite(c) || c < 0.0) {
+      return std::nullopt;
+    }
+  }
+  const double raw = predict(sample);
+  if (!std::isfinite(raw)) {
+    return std::nullopt;
+  }
+  return raw;
+}
+
+}  // namespace pwx::core

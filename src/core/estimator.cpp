@@ -36,124 +36,104 @@ EstimatorMetrics& estimator_metrics() {
   return m;
 }
 
+double smooth_step(double smoothing, double raw, GuardedState& state) {
+  if (smoothing <= 0.0) {
+    return raw;
+  }
+  if (!state.smoothed.has_value()) {
+    state.smoothed = raw;
+  } else {
+    state.smoothed = smoothing * *state.smoothed + (1.0 - smoothing) * raw;
+  }
+  return *state.smoothed;
+}
+
 }  // namespace
+
+double guarded_estimate_step(const ModelLayout& layout, double smoothing,
+                             const EstimatorGuards& guards,
+                             const DenseSample& sample, GuardedState& state) {
+  const bool telemetry = obs::enabled();
+  const HealthState before = state.health;
+  const std::optional<double> raw = layout.try_predict(sample);
+  if (raw.has_value()) {
+    state.consecutive_invalid = 0;
+    state.health = HealthState::Ok;
+    const double clamped = std::clamp(*raw, guards.min_watts, guards.max_watts);
+    const double out = smooth_step(smoothing, clamped, state);
+    state.last_good = out;
+    if (telemetry) {
+      // Unguarded instrument ops: the one enabled() check above covers the
+      // whole block, so the steady-state cost is a single atomic increment.
+      EstimatorMetrics& m = estimator_metrics();
+      m.estimates.add_unguarded(1);
+      if (clamped != *raw) {
+        m.clamped.add_unguarded(1);
+      }
+      // The gauge is only written on transitions to keep the steady-state
+      // cost of this hot path to one counter increment.
+      if (state.health != before) {
+        m.health_transitions.add_unguarded(1);
+        m.health.set_unguarded(static_cast<double>(state.health));
+      }
+    }
+    return out;
+  }
+  // Invalid sample: hold the last good estimate with a bounded staleness.
+  state.consecutive_invalid += 1;
+  state.health = state.consecutive_invalid > guards.max_consecutive_invalid
+                     ? HealthState::Failed
+                     : HealthState::Degraded;
+  const double held = state.last_good.value_or(guards.min_watts);
+  if (telemetry) {
+    EstimatorMetrics& m = estimator_metrics();
+    m.estimates.add_unguarded(1);
+    m.invalid_samples.add_unguarded(1);
+    if (state.health != before) {
+      m.health_transitions.add_unguarded(1);
+      m.health.set_unguarded(static_cast<double>(state.health));
+    }
+  }
+  return std::clamp(held, guards.min_watts, guards.max_watts);
+}
 
 OnlineEstimator::OnlineEstimator(PowerModel model, double smoothing,
                                  EstimatorGuards guards)
-    : model_(std::move(model)), smoothing_(smoothing), guards_(guards) {
+    : model_(std::move(model)), layout_(model_), smoothing_(smoothing),
+      guards_(guards), scratch_(layout_.make_sample()) {
   PWX_REQUIRE(smoothing_ >= 0.0 && smoothing_ < 1.0, "smoothing must be in [0,1)");
   PWX_REQUIRE(guards_.min_watts <= guards_.max_watts,
               "estimator guard range is inverted");
 }
 
 double OnlineEstimator::smooth(double raw) {
-  if (smoothing_ <= 0.0) {
-    return raw;
-  }
-  if (!smoothed_.has_value()) {
-    smoothed_ = raw;
-  } else {
-    smoothed_ = smoothing_ * *smoothed_ + (1.0 - smoothing_) * raw;
-  }
-  return *smoothed_;
+  return smooth_step(smoothing_, raw, state_);
 }
 
 double OnlineEstimator::estimate(const CounterSample& sample) {
   PWX_REQUIRE(sample.elapsed_s > 0.0, "sample needs a positive elapsed time");
   PWX_REQUIRE(sample.frequency_ghz > 0.0, "sample needs a frequency");
   PWX_REQUIRE(sample.voltage > 0.0, "sample needs a voltage");
-
-  // Adapt the sample into a DataRow so the model's feature builder applies.
-  acquire::DataRow row;
-  row.workload = "online";
-  row.phase = "online";
-  row.frequency_ghz = sample.frequency_ghz;
-  row.avg_voltage = sample.voltage;
-  row.elapsed_s = sample.elapsed_s;
-  for (pmc::Preset preset : model_.spec().events) {
-    const auto it = sample.counts.find(preset);
-    PWX_REQUIRE(it != sample.counts.end(), "sample lacks event ",
-                std::string(pmc::preset_name(preset)));
-    row.counter_rates[preset] = it->second / sample.elapsed_s;
-  }
-
-  return smooth(model_.predict_row(row));
+  layout_.to_dense(sample, scratch_);
+  return smooth(layout_.predict(scratch_));
 }
 
-std::optional<double> OnlineEstimator::try_estimate(const CounterSample& sample) const {
-  const auto finite_positive = [](double v) { return std::isfinite(v) && v > 0.0; };
-  if (!finite_positive(sample.elapsed_s) || !finite_positive(sample.frequency_ghz) ||
-      !finite_positive(sample.voltage)) {
-    return std::nullopt;
-  }
-  acquire::DataRow row;
-  row.workload = "online";
-  row.phase = "online";
-  row.frequency_ghz = sample.frequency_ghz;
-  row.avg_voltage = sample.voltage;
-  row.elapsed_s = sample.elapsed_s;
-  for (pmc::Preset preset : model_.spec().events) {
-    const auto it = sample.counts.find(preset);
-    if (it == sample.counts.end() || !std::isfinite(it->second) || it->second < 0.0) {
-      return std::nullopt;
-    }
-    row.counter_rates[preset] = it->second / sample.elapsed_s;
-  }
-  const double raw = model_.predict_row(row);
-  if (!std::isfinite(raw)) {
-    return std::nullopt;
-  }
-  return raw;
+double OnlineEstimator::estimate(const DenseSample& sample) {
+  PWX_REQUIRE(sample.elapsed_s > 0.0, "sample needs a positive elapsed time");
+  PWX_REQUIRE(sample.frequency_ghz > 0.0, "sample needs a frequency");
+  PWX_REQUIRE(sample.voltage > 0.0, "sample needs a voltage");
+  return smooth(layout_.predict(sample));
 }
 
 double OnlineEstimator::estimate_guarded(const CounterSample& sample) {
-  const bool telemetry = obs::enabled();
-  const HealthState before = health_;
-  const std::optional<double> raw = try_estimate(sample);
-  if (raw.has_value()) {
-    consecutive_invalid_ = 0;
-    health_ = HealthState::Ok;
-    const double clamped = std::clamp(*raw, guards_.min_watts, guards_.max_watts);
-    const double out = smooth(clamped);
-    last_good_ = out;
-    if (telemetry) {
-      EstimatorMetrics& m = estimator_metrics();
-      m.estimates.add(1);
-      if (clamped != *raw) {
-        m.clamped.add(1);
-      }
-      // The gauge is only written on transitions to keep the steady-state
-      // cost of this hot path to one counter increment.
-      if (health_ != before) {
-        m.health_transitions.add(1);
-        m.health.set(static_cast<double>(health_));
-      }
-    }
-    return out;
-  }
-  // Invalid sample: hold the last good estimate with a bounded staleness.
-  consecutive_invalid_ += 1;
-  health_ = consecutive_invalid_ > guards_.max_consecutive_invalid
-                ? HealthState::Failed
-                : HealthState::Degraded;
-  const double held = last_good_.value_or(guards_.min_watts);
-  if (telemetry) {
-    EstimatorMetrics& m = estimator_metrics();
-    m.estimates.add(1);
-    m.invalid_samples.add(1);
-    if (health_ != before) {
-      m.health_transitions.add(1);
-      m.health.set(static_cast<double>(health_));
-    }
-  }
-  return std::clamp(held, guards_.min_watts, guards_.max_watts);
+  layout_.to_dense_guarded(sample, scratch_);
+  return guarded_estimate_step(layout_, smoothing_, guards_, scratch_, state_);
 }
 
-void OnlineEstimator::reset() {
-  smoothed_.reset();
-  last_good_.reset();
-  consecutive_invalid_ = 0;
-  health_ = HealthState::Ok;
+double OnlineEstimator::estimate_guarded(const DenseSample& sample) {
+  return guarded_estimate_step(layout_, smoothing_, guards_, sample, state_);
 }
+
+void OnlineEstimator::reset() { state_.reset(); }
 
 }  // namespace pwx::core

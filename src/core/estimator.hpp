@@ -7,6 +7,12 @@
 // only needs the counters of the trained model — on Haswell the paper's six
 // events fit into a single hardware event set, so runtime estimation needs
 // no multiplexing.
+//
+// Internally every estimate runs on the compiled ModelLayout (core/dense.hpp):
+// map-keyed CounterSamples are converted to the layout's dense slot order
+// once per call, and the model evaluation is a flat coefficient dot product.
+// Callers on the hot path (FleetEstimator, batch ingestion) skip the
+// conversion by passing DenseSamples directly; both paths are bit-identical.
 #pragma once
 
 #include <map>
@@ -14,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/dense.hpp"
 #include "core/health.hpp"
 #include "core/model.hpp"
 #include "pmc/events.hpp"
@@ -53,6 +60,31 @@ struct EstimatorGuards {
   std::size_t max_consecutive_invalid = 5;
 };
 
+/// Per-stream state of the guarded estimation path: smoothing accumulator,
+/// held last-good estimate, and degradation bookkeeping. One per estimate
+/// stream — the OnlineEstimator owns one; the FleetEstimator owns one per
+/// node (sharing a single ModelLayout), which is what makes a node's state
+/// a few dozen bytes instead of a PowerModel copy.
+struct GuardedState {
+  std::optional<double> smoothed;
+  std::optional<double> last_good;
+  std::size_t consecutive_invalid = 0;
+  HealthState health = HealthState::Ok;
+
+  void reset() { *this = GuardedState{}; }
+};
+
+/// One step of the guarded estimation state machine on a dense sample:
+/// never throws on bad data, never emits NaN/Inf or a value outside the
+/// guard range; invalid samples hold the last good estimate and degrade
+/// `state.health` (FAILED after guards.max_consecutive_invalid misses in a
+/// row), a valid sample restores OK. Shared by OnlineEstimator and
+/// FleetEstimator so every guarded path has identical semantics and
+/// telemetry.
+double guarded_estimate_step(const ModelLayout& layout, double smoothing,
+                             const EstimatorGuards& guards,
+                             const DenseSample& sample, GuardedState& state);
+
 /// Turns counter samples into power estimates using a trained model.
 class OnlineEstimator {
 public:
@@ -65,6 +97,9 @@ public:
   /// sample is degenerate (non-positive elapsed time, missing events, ...).
   double estimate(const CounterSample& sample);
 
+  /// Strict estimate on an already-dense sample (layout slot order).
+  double estimate(const DenseSample& sample);
+
   /// Hardened path: never throws on bad data, never emits NaN/Inf or a
   /// value outside the guard range. Invalid samples (non-finite or
   /// non-positive elapsed/frequency/voltage, missing or non-finite event
@@ -74,11 +109,14 @@ public:
   /// sample restores health to OK.
   double estimate_guarded(const CounterSample& sample);
 
+  /// Hardened path on an already-dense sample.
+  double estimate_guarded(const DenseSample& sample);
+
   /// Health of the guarded estimate stream.
-  HealthState health() const { return health_; }
+  HealthState health() const { return state_.health; }
   /// Consecutive invalid samples absorbed since the last good one — the
   /// staleness bound of the held estimate.
-  std::size_t consecutive_invalid() const { return consecutive_invalid_; }
+  std::size_t consecutive_invalid() const { return state_.consecutive_invalid; }
 
   /// The model's event requirements (what to pass to CounterSource::start).
   const std::vector<pmc::Preset>& required_events() const {
@@ -86,24 +124,22 @@ public:
   }
 
   const PowerModel& model() const { return model_; }
+  /// The compiled layout (to build DenseSamples for the dense overloads).
+  const ModelLayout& layout() const { return layout_; }
   const EstimatorGuards& guards() const { return guards_; }
 
   /// Reset the smoothing and degradation state.
   void reset();
 
 private:
-  /// Validates a sample and computes the raw model output; nullopt when the
-  /// sample or the output is unusable.
-  std::optional<double> try_estimate(const CounterSample& sample) const;
   double smooth(double raw);
 
   PowerModel model_;
+  ModelLayout layout_;
   double smoothing_;
   EstimatorGuards guards_;
-  std::optional<double> smoothed_;
-  std::optional<double> last_good_;
-  std::size_t consecutive_invalid_ = 0;
-  HealthState health_ = HealthState::Ok;
+  GuardedState state_;
+  DenseSample scratch_;  ///< conversion buffer: map overloads allocate nothing
 };
 
 }  // namespace pwx::core

@@ -1,63 +1,460 @@
 #include "core/fleet.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 
 namespace pwx::core {
 
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
 FleetEstimator::FleetEstimator(PowerModel node_model, double smoothing,
-                               double staleness_horizon_s)
-    : model_(std::move(node_model)), smoothing_(smoothing),
-      staleness_horizon_s_(staleness_horizon_s) {
+                               double staleness_horizon_s, FleetOptions options)
+    : model_(std::move(node_model)), layout_(model_), smoothing_(smoothing),
+      staleness_horizon_s_(staleness_horizon_s), options_(options) {
   PWX_REQUIRE(staleness_horizon_s_ > 0.0, "staleness horizon must be positive");
+  PWX_REQUIRE(smoothing_ >= 0.0 && smoothing_ < 1.0, "smoothing must be in [0,1)");
+  if (options_.shard_count == 0) {
+    options_.shard_count = 1;
+  }
+  shards_.reserve(options_.shard_count);
+  for (std::size_t s = 0; s < options_.shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  hash_slots_.assign(64, 0);
+}
+
+NodeId FleetEstimator::intern(std::string_view node) {
+  PWX_REQUIRE(!node.empty(), "node name must not be empty");
+  std::lock_guard lock(intern_mutex_);
+  std::size_t mask = hash_slots_.size() - 1;
+  std::size_t i = fnv1a(node) & mask;
+  while (hash_slots_[i] != 0) {
+    const NodeId candidate = hash_slots_[i] - 1;
+    if (names_[candidate] == node) {
+      return candidate;
+    }
+    i = (i + 1) & mask;
+  }
+  PWX_REQUIRE(names_.size() < kNil, "fleet node capacity exhausted");
+  const auto id = static_cast<NodeId>(names_.size());
+  names_.emplace_back(node);
+  hash_slots_[i] = id + 1;
+  // Grow at 70% load; rehash every name into the doubled table.
+  if ((names_.size() + 1) * 10 >= hash_slots_.size() * 7) {
+    std::vector<std::uint32_t> grown(hash_slots_.size() * 2, 0);
+    mask = grown.size() - 1;
+    for (NodeId n = 0; n < names_.size(); ++n) {
+      std::size_t j = fnv1a(names_[n]) & mask;
+      while (grown[j] != 0) {
+        j = (j + 1) & mask;
+      }
+      grown[j] = n + 1;
+    }
+    hash_slots_ = std::move(grown);
+  }
+
+  // Per-node staleness gauge: preallocated here, written by snapshot().
+  // Only while the fleet is small (and telemetry is on) — unbounded
+  // per-node registry growth is exactly what large fleets must avoid.
+  obs::Gauge* gauge = nullptr;
+  if (obs::enabled() && id < options_.per_node_gauge_limit) {
+    gauge = &obs::registry().gauge(
+        "fleet.node." + names_[id] + ".staleness_s",
+        "seconds since this node last reported (-1 = never)");
+  }
+
+  Shard& shard = *shards_[shard_of(id)];
+  std::lock_guard shard_lock(shard.mutex);
+  const auto slot = static_cast<std::uint32_t>(shard.nodes.size());
+  shard.nodes.emplace_back();
+  NodeState& state = shard.nodes.back();
+  state.name = &names_[id];
+  state.staleness_gauge = gauge;
+  // Never-reported nodes (last_seen = -1) are the oldest: head insert keeps
+  // the last-seen list sorted.
+  state.seen_prev = kNil;
+  state.seen_next = shard.seen_head;
+  if (shard.seen_head != kNil) {
+    shard.nodes[shard.seen_head].seen_prev = slot;
+  }
+  shard.seen_head = slot;
+  if (shard.seen_tail == kNil) {
+    shard.seen_tail = slot;
+  }
+  return id;
+}
+
+std::optional<NodeId> FleetEstimator::find(std::string_view node) const {
+  std::lock_guard lock(intern_mutex_);
+  const std::size_t mask = hash_slots_.size() - 1;
+  std::size_t i = fnv1a(node) & mask;
+  while (hash_slots_[i] != 0) {
+    const NodeId candidate = hash_slots_[i] - 1;
+    if (names_[candidate] == node) {
+      return candidate;
+    }
+    i = (i + 1) & mask;
+  }
+  return std::nullopt;
+}
+
+const std::string& FleetEstimator::node_name(NodeId node) const {
+  std::lock_guard lock(intern_mutex_);
+  PWX_REQUIRE(node < names_.size(), "unknown node id ", node);
+  return names_[node];  // deque storage: the reference stays valid
+}
+
+std::size_t FleetEstimator::node_count() const {
+  std::lock_guard lock(intern_mutex_);
+  return names_.size();
+}
+
+void FleetEstimator::detach_seen(Shard& shard, std::uint32_t slot) {
+  NodeState& state = shard.nodes[slot];
+  if (state.seen_prev != kNil) {
+    shard.nodes[state.seen_prev].seen_next = state.seen_next;
+  } else {
+    shard.seen_head = state.seen_next;
+  }
+  if (state.seen_next != kNil) {
+    shard.nodes[state.seen_next].seen_prev = state.seen_prev;
+  } else {
+    shard.seen_tail = state.seen_prev;
+  }
+  state.seen_prev = state.seen_next = kNil;
+}
+
+void FleetEstimator::attach_seen_sorted(Shard& shard, std::uint32_t slot) {
+  NodeState& state = shard.nodes[slot];
+  // Walk back from the tail until the predecessor is not newer. Telemetry
+  // time is usually non-decreasing across the fleet, so this is O(1); an
+  // out-of-order timestamp pays a backward walk.
+  std::uint32_t after = shard.seen_tail;
+  while (after != kNil && shard.nodes[after].last_seen_s > state.last_seen_s) {
+    after = shard.nodes[after].seen_prev;
+  }
+  if (after == kNil) {
+    state.seen_prev = kNil;
+    state.seen_next = shard.seen_head;
+    if (shard.seen_head != kNil) {
+      shard.nodes[shard.seen_head].seen_prev = slot;
+    }
+    shard.seen_head = slot;
+    if (shard.seen_tail == kNil) {
+      shard.seen_tail = slot;
+    }
+  } else {
+    state.seen_prev = after;
+    state.seen_next = shard.nodes[after].seen_next;
+    shard.nodes[after].seen_next = slot;
+    if (state.seen_next != kNil) {
+      shard.nodes[state.seen_next].seen_prev = slot;
+    } else {
+      shard.seen_tail = slot;
+    }
+  }
+}
+
+void FleetEstimator::repair_minmax(const Shard& shard) const {
+  shard.min_slot = shard.max_slot = kNil;
+  for (std::uint32_t slot = 0; slot < shard.nodes.size(); ++slot) {
+    const NodeState& state = shard.nodes[slot];
+    if (state.last_seen_s < 0.0 || state.guard.health == HealthState::Failed) {
+      continue;
+    }
+    const double est = state.last_estimate;
+    if (shard.min_slot == kNil || est < shard.min_watts) {
+      shard.min_watts = est;
+      shard.min_slot = slot;
+    }
+    if (shard.max_slot == kNil || est > shard.max_watts) {
+      shard.max_watts = est;
+      shard.max_slot = slot;
+    }
+  }
+  shard.minmax_stale = false;
+}
+
+double FleetEstimator::ingest_locked(Shard& shard, NodeId id,
+                                     const DenseSample& sample, double now_s) {
+  const auto slot = static_cast<std::uint32_t>(slot_of(id));
+  NodeState& state = shard.nodes[slot];
+  PWX_REQUIRE(now_s >= state.last_seen_s, "fleet time went backwards for node '",
+              *state.name, "'");
+
+  const bool was_reported = state.last_seen_s >= 0.0;
+  const bool was_included =
+      was_reported && state.guard.health != HealthState::Failed;
+  const bool was_degraded =
+      was_included && state.guard.health == HealthState::Degraded;
+  const double old_estimate = state.last_estimate;
+
+  const double estimate =
+      guarded_estimate_step(layout_, smoothing_, guards_, sample, state.guard);
+  state.last_estimate = estimate;
+
+  const bool now_included = state.guard.health != HealthState::Failed;
+  const bool now_degraded =
+      now_included && state.guard.health == HealthState::Degraded;
+
+  // Running aggregates: remove the old contribution, add the new one.
+  if (was_included) {
+    shard.sum_watts -= old_estimate;
+    shard.included -= 1;
+    if (was_degraded) {
+      shard.degraded -= 1;
+    }
+  } else if (was_reported) {
+    shard.failed -= 1;
+  }
+  if (now_included) {
+    shard.sum_watts += estimate;
+    shard.included += 1;
+    if (now_degraded) {
+      shard.degraded += 1;
+    }
+  } else {
+    shard.failed += 1;
+  }
+
+  // Min/max maintenance with cheap repair: extending updates are applied
+  // eagerly; an update that may have dethroned the current holder marks the
+  // shard for a lazy rescan on the next snapshot.
+  if (!shard.minmax_stale) {
+    if (was_included && !now_included) {
+      if (shard.included == 0) {
+        shard.min_slot = shard.max_slot = kNil;
+      } else if (slot == shard.min_slot || slot == shard.max_slot) {
+        shard.minmax_stale = true;
+      }
+    } else if (now_included) {
+      if (shard.min_slot == kNil) {
+        shard.min_watts = shard.max_watts = estimate;
+        shard.min_slot = shard.max_slot = slot;
+      } else {
+        if (estimate <= shard.min_watts) {
+          shard.min_watts = estimate;
+          shard.min_slot = slot;
+        } else if (slot == shard.min_slot) {
+          shard.minmax_stale = true;
+        }
+        if (estimate >= shard.max_watts) {
+          shard.max_watts = estimate;
+          shard.max_slot = slot;
+        } else if (slot == shard.max_slot) {
+          shard.minmax_stale = true;
+        }
+      }
+    }
+  }
+
+  state.last_seen_s = now_s;
+  detach_seen(shard, slot);
+  attach_seen_sorted(shard, slot);
+  return estimate;
+}
+
+double FleetEstimator::ingest(NodeId node, const DenseSample& sample,
+                              double now_s) {
+  Shard& shard = *shards_[shard_of(node)];
+  std::lock_guard lock(shard.mutex);
+  PWX_REQUIRE(slot_of(node) < shard.nodes.size(), "unknown node id ", node);
+  return ingest_locked(shard, node, sample, now_s);
+}
+
+double FleetEstimator::ingest(NodeId node, const CounterSample& sample,
+                              double now_s) {
+  thread_local DenseSample scratch;
+  layout_.to_dense_guarded(sample, scratch);
+  return ingest(node, scratch, now_s);
 }
 
 double FleetEstimator::ingest(const std::string& node, const CounterSample& sample,
                               double now_s) {
-  PWX_REQUIRE(!node.empty(), "node name must not be empty");
-  auto it = nodes_.find(node);
-  if (it == nodes_.end()) {
-    it = nodes_.emplace(node, NodeState{OnlineEstimator(model_, smoothing_), 0.0, -1.0})
-             .first;
+  return ingest(intern(node), sample, now_s);
+}
+
+std::size_t FleetEstimator::ingest_batch(std::span<const NodeSample> batch) {
+  if (batch.empty()) {
+    return 0;
   }
-  NodeState& state = it->second;
-  PWX_REQUIRE(now_s >= state.last_seen_s, "fleet time went backwards for node '", node,
-              "'");
-  state.last_estimate = state.estimator.estimate_guarded(sample);
-  state.last_seen_s = now_s;
-  return state.last_estimate;
+  const std::size_t shard_count = options_.shard_count;
+  {
+    // Validate handles up front so no error is raised inside the (possibly
+    // parallel) shard loop.
+    std::lock_guard lock(intern_mutex_);
+    const std::size_t known = names_.size();
+    for (const NodeSample& s : batch) {
+      PWX_REQUIRE(s.node < known, "unknown node id ", s.node);
+    }
+  }
+
+  // Stable counting sort by shard: each shard's group preserves batch order,
+  // so repeated samples of one node apply in sequence.
+  std::vector<std::uint32_t> offsets(shard_count + 1, 0);
+  for (const NodeSample& s : batch) {
+    offsets[shard_of(s.node) + 1] += 1;
+  }
+  for (std::size_t s = 1; s <= shard_count; ++s) {
+    offsets[s] += offsets[s - 1];
+  }
+  std::vector<std::uint32_t> order(batch.size());
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::uint32_t i = 0; i < batch.size(); ++i) {
+      order[cursor[shard_of(batch[i].node)]++] = i;
+    }
+  }
+
+  // One lock acquisition per shard; shards are independent, so the parallel
+  // path is bit-identical to the serial one.
+  std::vector<std::exception_ptr> errors(shard_count);
+  const auto n_shards = static_cast<std::ptrdiff_t>(shard_count);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) if (options_.parallel_ingest)
+#endif
+  for (std::ptrdiff_t s = 0; s < n_shards; ++s) {
+    const std::uint32_t begin = offsets[static_cast<std::size_t>(s)];
+    const std::uint32_t end = offsets[static_cast<std::size_t>(s) + 1];
+    if (begin == end) {
+      continue;
+    }
+    Shard& shard = *shards_[static_cast<std::size_t>(s)];
+    std::lock_guard lock(shard.mutex);
+    try {
+      for (std::uint32_t k = begin; k < end; ++k) {
+        const NodeSample& ns = batch[order[k]];
+        ingest_locked(shard, ns.node, ns.sample, ns.now_s);
+      }
+    } catch (...) {
+      errors[static_cast<std::size_t>(s)] = std::current_exception();
+    }
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+  return batch.size();
 }
 
 FleetSnapshot FleetEstimator::snapshot(double now_s) const {
   FleetSnapshot snap;
-  bool first = true;
-  for (const auto& [name, state] : nodes_) {
-    if (state.last_seen_s < 0.0 ||
-        now_s - state.last_seen_s > staleness_horizon_s_) {
-      snap.nodes_stale += 1;
-      continue;
+  const bool telemetry = obs::enabled();
+  bool have_minmax = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::lock_guard lock(shard.mutex);
+    if (shard.minmax_stale) {
+      repair_minmax(shard);
     }
-    const HealthState health = state.estimator.health();
-    if (health == HealthState::Failed) {
-      snap.nodes_failed += 1;
-      continue;
+
+    // Stale prefix: the last-seen list is sorted, so the stale set at
+    // `now_s` is exactly a prefix.
+    std::size_t stale = 0;
+    std::size_t stale_included = 0;
+    std::size_t stale_degraded = 0;
+    std::size_t stale_failed = 0;
+    double stale_sum = 0.0;
+    bool extremum_stale = false;
+    for (std::uint32_t slot = shard.seen_head; slot != kNil;
+         slot = shard.nodes[slot].seen_next) {
+      const NodeState& state = shard.nodes[slot];
+      if (!stale_at(state, now_s)) {
+        break;
+      }
+      stale += 1;
+      if (state.last_seen_s < 0.0) {
+        continue;  // interned but never reported
+      }
+      if (state.guard.health == HealthState::Failed) {
+        stale_failed += 1;
+        continue;
+      }
+      stale_included += 1;
+      if (state.guard.health == HealthState::Degraded) {
+        stale_degraded += 1;
+      }
+      stale_sum += state.last_estimate;
+      if (shard.min_slot != kNil && (state.last_estimate <= shard.min_watts ||
+                                     state.last_estimate >= shard.max_watts)) {
+        extremum_stale = true;
+      }
     }
-    if (health == HealthState::Degraded) {
-      snap.nodes_degraded += 1;
+
+    const std::size_t fresh_included = shard.included - stale_included;
+    snap.nodes_stale += stale;
+    snap.nodes_reporting += fresh_included;
+    snap.nodes_degraded += shard.degraded - stale_degraded;
+    snap.nodes_failed += shard.failed - stale_failed;
+    if (fresh_included > 0) {
+      snap.total_watts +=
+          stale_included > 0 ? shard.sum_watts - stale_sum : shard.sum_watts;
+      double shard_min = shard.min_watts;
+      double shard_max = shard.max_watts;
+      if (extremum_stale) {
+        // A stale node may hold the shard extremum: rescan fresh nodes.
+        bool first = true;
+        for (std::uint32_t slot = 0; slot < shard.nodes.size(); ++slot) {
+          const NodeState& state = shard.nodes[slot];
+          if (stale_at(state, now_s) ||
+              state.guard.health == HealthState::Failed) {
+            continue;
+          }
+          if (first || state.last_estimate < shard_min) {
+            shard_min = state.last_estimate;
+          }
+          if (first || state.last_estimate > shard_max) {
+            shard_max = state.last_estimate;
+          }
+          first = false;
+        }
+      }
+      if (!have_minmax) {
+        snap.min_node_watts = shard_min;
+        snap.max_node_watts = shard_max;
+        have_minmax = true;
+      } else {
+        snap.min_node_watts = std::min(snap.min_node_watts, shard_min);
+        snap.max_node_watts = std::max(snap.max_node_watts, shard_max);
+      }
     }
-    snap.total_watts += state.last_estimate;
-    snap.nodes_reporting += 1;
-    if (first) {
-      snap.max_node_watts = snap.min_node_watts = state.last_estimate;
-      first = false;
-    } else {
-      snap.max_node_watts = std::max(snap.max_node_watts, state.last_estimate);
-      snap.min_node_watts = std::min(snap.min_node_watts, state.last_estimate);
+
+    if (telemetry) {
+      // Per-node staleness gauges exist only for nodes interned below
+      // FleetOptions::per_node_gauge_limit, so this loop is bounded by the
+      // limit, not the fleet size. Gauge-carrying slots are a prefix of
+      // each shard (ids grow with slots).
+      for (std::uint32_t slot = 0;
+           slot < shard.nodes.size() &&
+           id_at(s, slot) < options_.per_node_gauge_limit;
+           ++slot) {
+        const NodeState& state = shard.nodes[slot];
+        if (state.staleness_gauge == nullptr) {
+          continue;
+        }
+        const double staleness =
+            state.last_seen_s < 0.0 ? -1.0 : now_s - state.last_seen_s;
+        state.staleness_gauge->set(staleness);
+      }
     }
   }
-  if (obs::enabled()) {
+
+  if (telemetry) {
     obs::MetricRegistry& reg = obs::registry();
     reg.gauge("fleet.nodes_reporting", "nodes contributing to the fleet total")
         .set(static_cast<double>(snap.nodes_reporting));
@@ -69,39 +466,53 @@ FleetSnapshot FleetEstimator::snapshot(double now_s) const {
         .set(static_cast<double>(snap.nodes_failed));
     reg.gauge("fleet.total_watts", "fleet-wide power estimate")
         .set(snap.total_watts);
-    for (const auto& [name, state] : nodes_) {
-      const double staleness =
-          state.last_seen_s < 0.0 ? -1.0 : now_s - state.last_seen_s;
-      reg.gauge("fleet.node." + name + ".staleness_s",
-                "seconds since this node last reported (-1 = never)")
-          .set(staleness);
-    }
   }
   return snap;
 }
 
-std::optional<HealthState> FleetEstimator::node_health(const std::string& node) const {
-  const auto it = nodes_.find(node);
-  if (it == nodes_.end() || it->second.last_seen_s < 0.0) {
+std::optional<double> FleetEstimator::node_estimate(NodeId node) const {
+  const Shard& shard = *shards_[shard_of(node)];
+  std::lock_guard lock(shard.mutex);
+  if (slot_of(node) >= shard.nodes.size()) {
     return std::nullopt;
   }
-  return it->second.estimator.health();
+  const NodeState& state = shard.nodes[slot_of(node)];
+  if (state.last_seen_s < 0.0) {
+    return std::nullopt;
+  }
+  return state.last_estimate;
 }
 
 std::optional<double> FleetEstimator::node_estimate(const std::string& node) const {
-  const auto it = nodes_.find(node);
-  if (it == nodes_.end() || it->second.last_seen_s < 0.0) {
+  const std::optional<NodeId> id = find(node);
+  return id.has_value() ? node_estimate(*id) : std::nullopt;
+}
+
+std::optional<HealthState> FleetEstimator::node_health(NodeId node) const {
+  const Shard& shard = *shards_[shard_of(node)];
+  std::lock_guard lock(shard.mutex);
+  if (slot_of(node) >= shard.nodes.size()) {
     return std::nullopt;
   }
-  return it->second.last_estimate;
+  const NodeState& state = shard.nodes[slot_of(node)];
+  if (state.last_seen_s < 0.0) {
+    return std::nullopt;
+  }
+  return state.guard.health;
+}
+
+std::optional<HealthState> FleetEstimator::node_health(const std::string& node) const {
+  const std::optional<NodeId> id = find(node);
+  return id.has_value() ? node_health(*id) : std::nullopt;
 }
 
 std::vector<std::string> FleetEstimator::nodes() const {
   std::vector<std::string> out;
-  out.reserve(nodes_.size());
-  for (const auto& [name, state] : nodes_) {
-    out.push_back(name);
+  {
+    std::lock_guard lock(intern_mutex_);
+    out.assign(names_.begin(), names_.end());
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

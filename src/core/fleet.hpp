@@ -7,21 +7,70 @@
 // estimates, the fleet total, and staleness bookkeeping so that nodes whose
 // telemetry stopped do not silently freeze the total.
 //
+// Scaling architecture (see DESIGN.md "Fleet sharding"):
+//
+//   * Node names are hash-interned once into stable NodeId handles with
+//     contiguous string storage; the per-sample path never touches a string.
+//   * Node state is sharded across `FleetOptions::shard_count` tables with
+//     per-shard mutexes. A node's state is one GuardedState plus staleness
+//     links (~100 bytes); the model lives once, compiled into a ModelLayout
+//     shared by every node, so the per-sample cost is the dense dot product.
+//   * Each shard keeps incremental running aggregates (sum/reporting/
+//     degraded/failed, min/max holders with cheap lazy repair) and an
+//     intrusive list ordered by last-seen time, so snapshot() costs
+//     O(shards + stale nodes [+ repairs]) instead of O(nodes).
+//   * ingest_batch() groups samples by shard and processes each shard's
+//     group under one lock acquisition; with FleetOptions::parallel_ingest
+//     the shard groups run under OpenMP. Samples of one node stay in batch
+//     order, and nodes in different shards are independent, so serial,
+//     batched, and parallel ingestion produce bit-identical node estimates
+//     (pinned by tests/fleet_test.cpp).
+//
 // The node model transfers across machines of the same type because it is a
 // function of architecture-level rates (Equation 1), not of one part's
 // calibration — `integration_test` and the cluster example quantify the
 // transfer error across simulated part variation.
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/estimator.hpp"
 #include "core/model.hpp"
 
+namespace pwx::obs {
+class Gauge;
+}  // namespace pwx::obs
+
 namespace pwx::core {
+
+/// Stable handle for an interned node name (dense, assigned in intern order).
+using NodeId = std::uint32_t;
+
+/// Tuning knobs of the sharded fleet engine.
+struct FleetOptions {
+  /// Shards node state is spread across. More shards = less lock contention
+  /// and more ingest_batch parallelism; estimates are shard-count
+  /// independent (bit-identical for any value).
+  std::size_t shard_count = 16;
+  /// Process ingest_batch shard groups in parallel (OpenMP; no-op without
+  /// it). Results are bit-identical to serial ingestion.
+  bool parallel_ingest = false;
+  /// Per-node staleness gauges ("fleet.node.<name>.staleness_s") are
+  /// created at intern time while the fleet has at most this many nodes
+  /// (and telemetry is enabled); nodes interned beyond the limit get no
+  /// per-node gauge, so the metric registry and snapshot cost stay bounded
+  /// on large fleets. Aggregate fleet gauges are always maintained.
+  std::size_t per_node_gauge_limit = 1024;
+};
 
 /// Aggregated view of the fleet at a point in time.
 struct FleetSnapshot {
@@ -30,8 +79,16 @@ struct FleetSnapshot {
   std::size_t nodes_stale = 0;       ///< nodes beyond the staleness horizon
   std::size_t nodes_degraded = 0;    ///< reporting nodes on held/repaired data
   std::size_t nodes_failed = 0;      ///< nodes whose estimator gave up (excluded)
-  double max_node_watts = 0.0;
-  double min_node_watts = 0.0;
+  /// Extremes over reporting nodes; NaN when no node reports.
+  double max_node_watts = std::numeric_limits<double>::quiet_NaN();
+  double min_node_watts = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// One node's reading for batch ingestion.
+struct NodeSample {
+  NodeId node = 0;
+  double now_s = 0.0;   ///< fleet time of the reading
+  DenseSample sample;   ///< counts in the fleet model's layout order
 };
 
 /// Applies a per-node power model across a fleet of nodes.
@@ -40,42 +97,135 @@ public:
   /// `staleness_horizon_s`: a node whose last sample is older than this (in
   /// fleet time) is excluded from totals and counted as stale.
   explicit FleetEstimator(PowerModel node_model, double smoothing = 0.0,
-                          double staleness_horizon_s = 10.0);
+                          double staleness_horizon_s = 10.0,
+                          FleetOptions options = {});
+
+  /// Get-or-create the stable handle for a node name. Interning is the only
+  /// string-touching operation; do it once at node discovery and ingest by
+  /// handle. Thread-safe.
+  NodeId intern(std::string_view node);
+
+  /// Handle of an already-interned name (nullopt when unknown).
+  std::optional<NodeId> find(std::string_view node) const;
+
+  /// Name of an interned node.
+  const std::string& node_name(NodeId node) const;
+
+  /// Number of interned nodes.
+  std::size_t node_count() const;
 
   /// Ingest one node's sample at fleet time `now_s`; returns the node's
   /// power estimate. Unknown node names are registered on first use.
   /// Telemetry faults never throw: invalid samples go through the node
   /// estimator's guarded path, which holds the last good estimate and
-  /// degrades the node's health instead.
+  /// degrades the node's health instead. (Compatibility wrapper: interns
+  /// the name and converts to the dense layout on every call.)
   double ingest(const std::string& node, const CounterSample& sample, double now_s);
+
+  /// Handle-based ingest (converts the map-based sample to the layout).
+  double ingest(NodeId node, const CounterSample& sample, double now_s);
+
+  /// The hot path: handle-based dense ingest. Bit-identical to the
+  /// map-based overloads for equivalent samples.
+  double ingest(NodeId node, const DenseSample& sample, double now_s);
+
+  /// Ingest a batch: samples are grouped by shard and each shard's group is
+  /// processed under a single lock acquisition, in batch order (so multiple
+  /// samples of one node apply in order). With options.parallel_ingest the
+  /// shard groups run in parallel; results are bit-identical to the serial
+  /// `ingest` loop. Returns the number of samples ingested. Node handles
+  /// must come from intern(); per-node time must be non-decreasing (on
+  /// violation the batch throws after a partial application, exactly like a
+  /// loop of ingest calls).
+  std::size_t ingest_batch(std::span<const NodeSample> batch);
 
   /// Aggregate over all known nodes at fleet time `now_s`. Nodes whose
   /// estimator reports FAILED are excluded from the total (counted in
   /// nodes_failed); DEGRADED nodes stay included but are counted.
+  /// O(shards + stale nodes) via the incremental per-shard aggregates.
   FleetSnapshot snapshot(double now_s) const;
 
   /// Last estimate of one node (nullopt when the node never reported).
   std::optional<double> node_estimate(const std::string& node) const;
+  std::optional<double> node_estimate(NodeId node) const;
 
   /// Health of one node's estimate stream (nullopt when never reported).
   std::optional<HealthState> node_health(const std::string& node) const;
+  std::optional<HealthState> node_health(NodeId node) const;
 
   /// Registered node names (sorted).
   std::vector<std::string> nodes() const;
 
   const PowerModel& model() const { return model_; }
+  /// The compiled layout shared by every node (to build DenseSamples).
+  const ModelLayout& layout() const { return layout_; }
+  const FleetOptions& options() const { return options_; }
 
 private:
+  static constexpr std::uint32_t kNil = std::numeric_limits<std::uint32_t>::max();
+
+  /// State of one node: guarded-estimator stream state plus staleness links.
   struct NodeState {
-    OnlineEstimator estimator;
+    GuardedState guard;
     double last_estimate = 0.0;
     double last_seen_s = -1.0;
+    std::uint32_t seen_prev = kNil;  ///< intrusive list ordered by last_seen_s
+    std::uint32_t seen_next = kNil;
+    const std::string* name = nullptr;      ///< stable deque storage
+    obs::Gauge* staleness_gauge = nullptr;  ///< preallocated at intern (or null)
   };
 
+  /// One shard: a slice of node states (node's slot = id / shard_count),
+  /// its last-seen-ordered list, and incremental aggregates over the
+  /// *included* set (ever-reported nodes whose health is not FAILED).
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<NodeState> nodes;
+    std::uint32_t seen_head = kNil;  ///< oldest last_seen_s (never-reported first)
+    std::uint32_t seen_tail = kNil;  ///< freshest last_seen_s
+    double sum_watts = 0.0;          ///< Σ last_estimate over included nodes
+    std::size_t included = 0;        ///< reported && !failed
+    std::size_t degraded = 0;        ///< included && DEGRADED
+    std::size_t failed = 0;          ///< reported && FAILED
+    // Extremes over included nodes (valid when min_slot != kNil and
+    // !minmax_stale); mutable because snapshot() repairs them lazily.
+    mutable double min_watts = 0.0;
+    mutable double max_watts = 0.0;
+    mutable std::uint32_t min_slot = kNil;   ///< holder of min_watts
+    mutable std::uint32_t max_slot = kNil;   ///< holder of max_watts
+    mutable bool minmax_stale = false;       ///< lazily repaired on snapshot
+  };
+
+  std::size_t shard_of(NodeId id) const { return id % options_.shard_count; }
+  std::size_t slot_of(NodeId id) const { return id / options_.shard_count; }
+  NodeId id_at(std::size_t shard, std::size_t slot) const {
+    return static_cast<NodeId>(slot * options_.shard_count + shard);
+  }
+
+  double ingest_locked(Shard& shard, NodeId id, const DenseSample& sample,
+                       double now_s);
+  void detach_seen(Shard& shard, std::uint32_t slot);
+  void attach_seen_sorted(Shard& shard, std::uint32_t slot);
+  void repair_minmax(const Shard& shard) const;
+  bool stale_at(const NodeState& state, double now_s) const {
+    return state.last_seen_s < 0.0 ||
+           now_s - state.last_seen_s > staleness_horizon_s_;
+  }
+
   PowerModel model_;
+  ModelLayout layout_;
   double smoothing_;
+  EstimatorGuards guards_;  ///< per-node guard policy (defaults, as before)
   double staleness_horizon_s_;
-  std::map<std::string, NodeState> nodes_;
+  FleetOptions options_;
+
+  // Interner: open-addressed FNV-1a hash table over stable name storage
+  // (deque: node_name() references survive growth).
+  mutable std::mutex intern_mutex_;
+  std::deque<std::string> names_;           ///< names_[id] = node name
+  std::vector<std::uint32_t> hash_slots_;   ///< open addressing: id + 1, 0 = empty
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace pwx::core

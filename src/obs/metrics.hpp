@@ -53,8 +53,13 @@ class Counter {
 public:
   void add(std::uint64_t n = 1) {
     if (enabled()) {
-      value_.fetch_add(n, std::memory_order_relaxed);
+      add_unguarded(n);
     }
+  }
+  /// Increment without the enabled() gate — for hot paths that hoist one
+  /// enabled() check over several instrument operations.
+  void add_unguarded(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
   }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
@@ -68,9 +73,11 @@ class Gauge {
 public:
   void set(double v) {
     if (enabled()) {
-      value_.store(v, std::memory_order_relaxed);
+      set_unguarded(v);
     }
   }
+  /// Store without the enabled() gate (see Counter::add_unguarded).
+  void set_unguarded(double v) { value_.store(v, std::memory_order_relaxed); }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 

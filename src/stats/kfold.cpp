@@ -9,6 +9,26 @@
 
 namespace pwx::stats {
 
+namespace {
+
+// The validate sets partition [0, n), so each fold's train set is the sorted
+// complement of its (sorted) validate set: one linear skip pass instead of
+// concatenating the other k-1 validate sets and re-sorting.
+void fill_train_as_complement(Fold& fold, std::size_t n) {
+  fold.train.clear();
+  fold.train.reserve(n - fold.validate.size());
+  std::size_t next_skip = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (next_skip < fold.validate.size() && fold.validate[next_skip] == i) {
+      ++next_skip;
+      continue;
+    }
+    fold.train.push_back(i);
+  }
+}
+
+}  // namespace
+
 std::vector<Fold> k_fold_splits(std::size_t n, std::size_t k, std::uint64_t seed) {
   static obs::Counter& c_splits =
       obs::registry().counter("kfold.splits", "k-fold split computations");
@@ -24,15 +44,7 @@ std::vector<Fold> k_fold_splits(std::size_t n, std::size_t k, std::uint64_t seed
   }
   for (std::size_t f = 0; f < k; ++f) {
     std::sort(folds[f].validate.begin(), folds[f].validate.end());
-    folds[f].train.reserve(n - folds[f].validate.size());
-    for (std::size_t g = 0; g < k; ++g) {
-      if (g == f) {
-        continue;
-      }
-      folds[f].train.insert(folds[f].train.end(), folds[g].validate.begin(),
-                            folds[g].validate.end());
-    }
-    std::sort(folds[f].train.begin(), folds[f].train.end());
+    fill_train_as_complement(folds[f], n);
   }
   return folds;
 }
@@ -68,14 +80,7 @@ std::vector<Fold> grouped_k_fold_splits(const std::vector<std::size_t>& groups,
   }
   for (std::size_t f = 0; f < k; ++f) {
     std::sort(folds[f].validate.begin(), folds[f].validate.end());
-    for (std::size_t g = 0; g < k; ++g) {
-      if (g == f) {
-        continue;
-      }
-      folds[f].train.insert(folds[f].train.end(), folds[g].validate.begin(),
-                            folds[g].validate.end());
-    }
-    std::sort(folds[f].train.begin(), folds[f].train.end());
+    fill_train_as_complement(folds[f], groups.size());
   }
   return folds;
 }

@@ -300,6 +300,36 @@ TEST(KFold, GroupedRejectsTooManyFolds) {
   EXPECT_THROW(grouped_k_fold_splits(groups, 3, 0), InvalidArgument);
 }
 
+// Golden vectors captured from the concatenate-and-sort train-set builder
+// before it was replaced by the linear complement pass: identical seeds must
+// keep producing identical splits, train sets included.
+TEST(KFold, GoldenSplitsAreStable) {
+  const auto folds = k_fold_splits(12, 3, 42);
+  ASSERT_EQ(folds.size(), 3u);
+  const std::vector<std::vector<std::size_t>> validate{
+      {0, 1, 8, 9}, {2, 4, 7, 11}, {3, 5, 6, 10}};
+  const std::vector<std::vector<std::size_t>> train{
+      {2, 3, 4, 5, 6, 7, 10, 11},
+      {0, 1, 3, 5, 6, 8, 9, 10},
+      {0, 1, 2, 4, 7, 8, 9, 11}};
+  for (std::size_t f = 0; f < 3; ++f) {
+    EXPECT_EQ(folds[f].validate, validate[f]) << "fold " << f;
+    EXPECT_EQ(folds[f].train, train[f]) << "fold " << f;
+  }
+}
+
+TEST(KFold, GroupedGoldenSplitsAreStable) {
+  const std::vector<std::size_t> groups{0, 0, 1, 1, 2, 2, 3, 3, 4, 4};
+  const auto folds = grouped_k_fold_splits(groups, 2, 9);
+  ASSERT_EQ(folds.size(), 2u);
+  const std::vector<std::size_t> validate0{0, 1, 4, 5, 6, 7};
+  const std::vector<std::size_t> train0{2, 3, 8, 9};
+  EXPECT_EQ(folds[0].validate, validate0);
+  EXPECT_EQ(folds[0].train, train0);
+  EXPECT_EQ(folds[1].validate, train0);
+  EXPECT_EQ(folds[1].train, validate0);
+}
+
 // ---------------------------------------------------------------- standardize
 
 TEST(Standardize, TransformedColumnsHaveZeroMeanUnitVariance) {

@@ -11,10 +11,17 @@
 //   pwx-monitor [--workload NAME] [--threads N] [--samples N]
 //               [--interval-s X] [--format jsonl|prometheus|table]
 //               [--faults SEED [--intensity X]] [--no-robust]
-//               [--log-json] [--spans]
+//               [--log-json] [--spans] [--fleet N]
+//
+// With --fleet N the tool monitors N simulated nodes (each a different
+// physical part running the same workload) through one sharded
+// FleetEstimator: every round all node samples are ingested as one batch
+// and a "fleet" JSON line carries the aggregate snapshot instead of the
+// per-sample "estimate" lines. Default behavior (no --fleet) is unchanged.
 //
 // Time is stream time (the sum of sample intervals), not wall time, so the
 // output is deterministic for a given seed and replays faithfully in tests.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,12 +29,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "acquire/campaign.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "core/estimator.hpp"
+#include "core/fleet.hpp"
 #include "core/health.hpp"
 #include "core/model.hpp"
 #include "core/robust_source.hpp"
@@ -49,9 +58,86 @@ int usage(const char* argv0) {
                "usage: %s [--workload NAME] [--threads N] [--samples N]\n"
                "          [--interval-s X] [--format jsonl|prometheus|table]\n"
                "          [--faults SEED [--intensity X]] [--no-robust]\n"
-               "          [--log-json] [--spans]\n",
+               "          [--log-json] [--spans] [--fleet N]\n",
                argv0);
   return 2;
+}
+
+// Fleet mode: N simulated nodes through one FleetEstimator, one batch
+// ingest and one snapshot line per telemetry round.
+int run_fleet(pwx::core::PowerModel model, std::size_t fleet_nodes,
+              const pwx::workloads::Workload& workload, std::size_t threads,
+              std::size_t max_rounds, pwx::obs::TelemetrySink& sink) {
+  using namespace pwx;
+  core::FleetOptions options;
+  options.shard_count = 8;
+  core::FleetEstimator fleet(std::move(model), /*smoothing=*/0.3,
+                             /*staleness_horizon_s=*/5.0, options);
+
+  struct Node {
+    core::NodeId id;
+    sim::Engine engine;
+    host::SimulatedCounterSource source;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(fleet_nodes);
+  for (std::size_t n = 0; n < fleet_nodes; ++n) {
+    sim::Engine engine = sim::Engine::haswell_ep(0x2000 + n);
+    sim::RunConfig rc;
+    rc.threads = threads;
+    rc.interval_s = 0.25;
+    rc.seed = 2026 + n;
+    host::SimulatedCounterSource source(engine, workload, rc);
+    nodes.push_back(Node{fleet.intern("node" + std::to_string(n)),
+                         std::move(engine), std::move(source)});
+  }
+  for (Node& node : nodes) {
+    node.source.start(fleet.model().spec().events);
+  }
+
+  double stream_t = 0.0;
+  std::size_t rounds = 0;
+  std::vector<core::NodeSample> batch;
+  core::DenseSample dense = fleet.layout().make_sample();
+  while (max_rounds == 0 || rounds < max_rounds) {
+    batch.clear();
+    double interval = 0.0;
+    for (Node& node : nodes) {
+      if (const auto sample = node.source.read()) {
+        fleet.layout().to_dense_guarded(*sample, dense);
+        batch.push_back(core::NodeSample{node.id, stream_t, dense});
+        interval = sample->elapsed_s;
+      }
+    }
+    if (batch.empty()) {
+      break;
+    }
+    fleet.ingest_batch(batch);
+    stream_t += interval;
+    rounds += 1;
+
+    const core::FleetSnapshot snap = fleet.snapshot(stream_t);
+    Json line;
+    line["event"] = "fleet";
+    line["t_s"] = stream_t;
+    line["nodes_reporting"] = snap.nodes_reporting;
+    line["nodes_stale"] = snap.nodes_stale;
+    line["nodes_degraded"] = snap.nodes_degraded;
+    line["nodes_failed"] = snap.nodes_failed;
+    line["total_watts"] = snap.total_watts;
+    if (!std::isnan(snap.min_node_watts)) {
+      line["min_node_watts"] = snap.min_node_watts;
+      line["max_node_watts"] = snap.max_node_watts;
+    }
+    std::cout << line.dump(-1) << "\n";
+    sink.maybe_flush(stream_t);
+  }
+  sink.flush(stream_t);
+  log_message(LogLevel::Info, "fleet stream finished",
+              {{"nodes", std::to_string(fleet_nodes)},
+               {"rounds", std::to_string(rounds)},
+               {"stream_seconds", format_double(stream_t, 2)}});
+  return 0;
 }
 
 }  // namespace
@@ -68,6 +154,7 @@ int main(int argc, char** argv) {
   double intensity = 1.0;
   bool robust = true;
   bool spans = false;
+  std::size_t fleet_nodes = 0;  // 0 = single-node mode
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +194,8 @@ int main(int argc, char** argv) {
       set_log_format(LogFormat::Json);
     } else if (arg == "--spans") {
       spans = true;
+    } else if (arg == "--fleet") {
+      fleet_nodes = std::strtoul(next(), nullptr, 10);
     } else {
       return usage(argv[0]);
     }
@@ -130,9 +219,20 @@ int main(int argc, char** argv) {
     spec.events = core::select_events(acquire::standard_selection_dataset(),
                                       pmc::haswell_ep_available_events(), opt)
                       .selected();
-    core::OnlineEstimator estimator(
-        core::train_model(acquire::standard_training_dataset(), spec),
-        /*smoothing=*/0.3);
+    core::PowerModel model =
+        core::train_model(acquire::standard_training_dataset(), spec);
+
+    if (fleet_nodes > 0) {
+      obs::TelemetrySinkConfig sink_config;
+      sink_config.interval_s = interval_s;
+      sink_config.format = format;
+      sink_config.include_spans = spans;
+      obs::TelemetrySink sink(std::cout, sink_config);
+      return run_fleet(std::move(model), fleet_nodes, *workload, threads,
+                       max_samples, sink);
+    }
+
+    core::OnlineEstimator estimator(std::move(model), /*smoothing=*/0.3);
 
     const sim::Engine machine = sim::Engine::haswell_ep();
     sim::RunConfig rc;
