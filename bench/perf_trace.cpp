@@ -1,9 +1,13 @@
 // Performance of the OTF2-lite trace layer: building traces through the
-// metric plugins, binary serialization, and phase-profile generation.
+// metric plugins, binary serialization, phase-profile generation, and
+// multi-run campaign ingestion (N trace files -> merged phase-profile rows).
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <map>
 #include <sstream>
 
+#include "acquire/campaign.hpp"
 #include "sim/engine.hpp"
 #include "trace/phase_profile.hpp"
 #include "trace/plugins.hpp"
@@ -75,5 +79,54 @@ void BM_PhaseProfiles(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PhaseProfiles)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------- campaign ingest
+
+// A multiplexed acquisition campaign's trace set: pairs of runs per
+// (workload, frequency) configuration, each pair recording a different
+// event group, so ingestion has real merging to do.
+const std::vector<std::string>& campaign_files(std::size_t count) {
+  static std::map<std::size_t, std::vector<std::string>> cache;
+  auto it = cache.find(count);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const sim::Engine engine = sim::Engine::haswell_ep();
+  const char* names[] = {"md", "compute", "matmul", "memory_read"};
+  const double freqs[] = {1.2, 1.9, 2.4};
+  const std::vector<pmc::Preset> groups[2] = {
+      {pmc::Preset::TOT_CYC, pmc::Preset::TOT_INS},
+      {pmc::Preset::PRF_DM, pmc::Preset::BR_MSP}};
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("pwx_perf_trace_" + std::to_string(count));
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < count; ++i) {
+    sim::RunConfig rc;
+    rc.interval_s = 0.05;
+    rc.duration_scale = 1.0;
+    rc.frequency_ghz = freqs[(i / 8) % 3];
+    rc.seed = 1000 + i;
+    const auto workload = workloads::find_workload(names[(i / 2) % 4]);
+    const sim::RunResult run = engine.run(*workload, rc);
+    const trace::Trace t = trace::build_standard_trace(run, groups[i % 2]);
+    const std::string path = (dir / ("trace_" + std::to_string(i) + ".otf2l")).string();
+    trace::write_trace_file(t, path);
+    paths.push_back(path);
+  }
+  return cache.emplace(count, std::move(paths)).first->second;
+}
+
+void BM_ProfileCampaign(benchmark::State& state) {
+  const auto& paths = campaign_files(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const acquire::Dataset dataset = acquire::ingest_trace_files(paths);
+    benchmark::DoNotOptimize(dataset.size());
+  }
+  state.counters["rows"] = benchmark::Counter(
+      static_cast<double>(acquire::ingest_trace_files(paths).size()));
+}
+BENCHMARK(BM_ProfileCampaign)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace

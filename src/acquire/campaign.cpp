@@ -232,19 +232,7 @@ UnitOutcome acquire_configuration(const sim::Engine& engine,
       variants.push_back(run_profiles[p]);
     }
     const trace::PhaseProfile merged = trace::merge_profiles(variants);
-
-    DataRow row;
-    row.workload = merged.workload;
-    row.phase = merged.phase;
-    row.suite = unit.workload->suite;
-    row.frequency_ghz = merged.frequency_ghz;
-    row.threads = merged.threads;
-    row.avg_power_watts = merged.avg_power_watts;
-    row.avg_voltage = merged.avg_voltage;
-    row.elapsed_s = merged.elapsed_s;
-    row.runs_merged = merged.runs_merged;
-    row.counter_rates = merged.counter_rates;
-    outcome.rows.push_back(std::move(row));
+    outcome.rows.push_back(row_from_profile(merged, unit.workload->suite));
   }
   return outcome;
 }
@@ -367,6 +355,25 @@ Dataset run_campaign(const sim::Engine& engine, const CampaignConfig& config) {
       reg.counter("campaign.fault." + name, "injected faults by kind").add(count);
     }
   }
+  return dataset;
+}
+
+Dataset ingest_trace_files(const std::vector<std::string>& paths,
+                           trace::ProfileCampaignOptions options) {
+  PWX_SPAN("campaign.ingest_trace_files");
+  const std::vector<trace::PhaseProfile> profiles =
+      trace::profile_trace_files(paths, options);
+
+  Dataset dataset;
+  for (const trace::PhaseProfile& profile : profiles) {
+    const auto workload = workloads::find_workload(profile.workload);
+    dataset.append(row_from_profile(
+        profile, workload ? workload->suite : workloads::Suite::Roco2));
+  }
+
+  DataQuality quality;
+  quality.sanitize = sanitize_dataset(dataset);
+  dataset.set_quality(std::move(quality));
   return dataset;
 }
 

@@ -25,6 +25,7 @@
 #include "acquire/dataset.hpp"
 #include "pmc/scheduler.hpp"
 #include "sim/engine.hpp"
+#include "trace/profile_campaign.hpp"
 #include "workloads/registry.hpp"
 
 namespace pwx::fault {
@@ -72,6 +73,16 @@ struct CampaignConfig {
 /// quarantined configurations, injected faults, and sanitization drops.
 /// Throws only under FailurePolicy::Abort (or on invalid configuration).
 Dataset run_campaign(const sim::Engine& engine, const CampaignConfig& config);
+
+/// Post-processing without re-acquisition: reduce already-recorded trace
+/// files to a regression Dataset in one call. Every file is read and phase-
+/// profiled (OpenMP-parallel across files per `options`), same-key profiles
+/// are merged across runs, rows are sanitized, and the sanitize report lands
+/// in the Dataset's DataQuality. The result is bit-identical to a serial
+/// read/profile/merge loop over the same paths. Suites are resolved from the
+/// workload registry (unknown workload names default to Suite::Roco2).
+Dataset ingest_trace_files(const std::vector<std::string>& paths,
+                           trace::ProfileCampaignOptions options = {});
 
 /// The paper's standard acquisition: all workloads, all 54 Haswell-EP
 /// presets, at the given frequencies. `seed` defaults to the fixed value the

@@ -220,6 +220,21 @@ std::vector<pmc::Preset> Dataset::common_presets() const {
   return out;
 }
 
+DataRow row_from_profile(const trace::PhaseProfile& profile, workloads::Suite suite) {
+  DataRow row;
+  row.workload = profile.workload;
+  row.phase = profile.phase;
+  row.suite = suite;
+  row.frequency_ghz = profile.frequency_ghz;
+  row.threads = profile.threads;
+  row.avg_power_watts = profile.avg_power_watts;
+  row.avg_voltage = profile.avg_voltage;
+  row.elapsed_s = profile.elapsed_s;
+  row.runs_merged = profile.runs_merged;
+  row.counter_rates = profile.counter_rates;
+  return row;
+}
+
 SanitizeReport sanitize_dataset(Dataset& dataset, double max_power_watts) {
   PWX_REQUIRE(max_power_watts > 0.0, "sanitize needs a positive power ceiling");
   SanitizeReport report;

@@ -15,6 +15,7 @@
 #include "common/json.hpp"
 #include "la/matrix.hpp"
 #include "pmc/events.hpp"
+#include "trace/phase_profile.hpp"
 #include "workloads/character.hpp"
 
 namespace pwx::acquire {
@@ -122,6 +123,10 @@ private:
   std::vector<DataRow> rows_;
   DataQuality quality_;
 };
+
+/// Convert one merged phase profile into a dataset row. The suite tags the
+/// row's workload family (used by suite filters and train/validate splits).
+DataRow row_from_profile(const trace::PhaseProfile& profile, workloads::Suite suite);
 
 /// Remove rows that are non-finite or physically impossible (negative or
 /// implausible power, non-positive voltage/elapsed time, NaN/negative

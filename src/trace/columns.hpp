@@ -1,0 +1,150 @@
+// Columnar (structure-of-arrays) event storage for OTF2-lite traces.
+//
+// A trace's event stream is stored as parallel columns — time, kind, id,
+// value — plus an interned region-name table, instead of an array of
+// std::variant records. The hot consumers (serialization, phase-profile
+// generation, batch ingestion) operate directly on the columns as bulk
+// little-endian arrays and tight linear scans; the classic `Event` variant
+// API survives as a thin view that materializes records on demand, so
+// existing callers stay source-compatible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace pwx::trace {
+
+/// A phase/region boundary.
+struct RegionEnter {
+  std::uint64_t time_ns = 0;
+  std::string region;
+};
+struct RegionExit {
+  std::uint64_t time_ns = 0;
+  std::string region;
+};
+
+/// One metric sample referencing a definition by index.
+struct MetricEvent {
+  std::uint64_t time_ns = 0;
+  std::uint32_t metric = 0;
+  double value = 0.0;
+};
+
+using Event = std::variant<RegionEnter, RegionExit, MetricEvent>;
+
+/// Column tag for one event. The numeric values double as the on-disk
+/// record tags of both serialization formats.
+enum class EventKind : std::uint8_t { Enter = 1, Exit = 2, Metric = 3 };
+
+/// Interned string table: names in first-intern order, O(1) id lookup.
+class StringTable {
+public:
+  /// Id of `name`, interning it on first sight.
+  std::uint32_t intern(std::string_view name);
+  /// Id of `name` when already interned.
+  std::optional<std::uint32_t> find(std::string_view name) const;
+  const std::string& at(std::uint32_t id) const;
+  std::size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>> index_;
+};
+
+/// The SoA event store: one entry per event across four parallel arrays.
+/// `ids[i]` is a region-table id for Enter/Exit events and a metric index
+/// for Metric events; `values[i]` is 0.0 for region events.
+struct EventColumns {
+  std::vector<std::uint64_t> times;
+  std::vector<std::uint8_t> kinds;
+  std::vector<std::uint32_t> ids;
+  std::vector<double> values;
+  StringTable regions;
+
+  std::size_t size() const { return times.size(); }
+  bool empty() const { return times.empty(); }
+  void reserve(std::size_t n);
+  void clear();
+
+  void push_enter(std::uint64_t time_ns, std::uint32_t region_id) {
+    push(time_ns, EventKind::Enter, region_id, 0.0);
+  }
+  void push_exit(std::uint64_t time_ns, std::uint32_t region_id) {
+    push(time_ns, EventKind::Exit, region_id, 0.0);
+  }
+  void push_metric(std::uint64_t time_ns, std::uint32_t metric, double value) {
+    push(time_ns, EventKind::Metric, metric, value);
+  }
+
+  /// Materialize event `i` as the classic variant record.
+  Event make_event(std::size_t i) const;
+
+private:
+  void push(std::uint64_t time_ns, EventKind kind, std::uint32_t id, double value) {
+    times.push_back(time_ns);
+    kinds.push_back(static_cast<std::uint8_t>(kind));
+    ids.push_back(id);
+    values.push_back(value);
+  }
+};
+
+/// Read-only view presenting an EventColumns as a sequence of `Event`
+/// variants. Iteration and indexing materialize records on demand, so
+/// range-for loops and `events()[i]` keep working on columnar storage.
+class EventView {
+public:
+  explicit EventView(const EventColumns* columns) : columns_(columns) {}
+
+  class iterator {
+  public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Event;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = Event;
+
+    iterator(const EventColumns* columns, std::size_t index)
+        : columns_(columns), index_(index) {}
+    Event operator*() const { return columns_->make_event(index_); }
+    iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++index_;
+      return copy;
+    }
+    bool operator==(const iterator& other) const { return index_ == other.index_; }
+    bool operator!=(const iterator& other) const { return index_ != other.index_; }
+
+  private:
+    const EventColumns* columns_;
+    std::size_t index_;
+  };
+
+  std::size_t size() const { return columns_->size(); }
+  bool empty() const { return columns_->empty(); }
+  Event operator[](std::size_t i) const { return columns_->make_event(i); }
+  iterator begin() const { return iterator(columns_, 0); }
+  iterator end() const { return iterator(columns_, columns_->size()); }
+
+private:
+  const EventColumns* columns_;
+};
+
+}  // namespace pwx::trace

@@ -1,6 +1,8 @@
 #include "trace/phase_profile.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <numeric>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -26,7 +28,9 @@ double PhaseProfile::rate_per_cycle(pmc::Preset preset) const {
 
 namespace {
 
-/// Accumulator for one phase while scanning the event stream.
+/// Accumulator for one phase (region id) while scanning the event columns.
+/// Counter totals live in a flat per-metric array indexed by metric id, so
+/// the hot metric-event path is two array stores instead of a map lookup.
 struct PhaseAccumulator {
   double elapsed_s = 0;
   double first_start_s = -1.0;
@@ -35,7 +39,8 @@ struct PhaseAccumulator {
   double power_time = 0;
   double voltage_sum = 0;          ///< instantaneous samples, equally weighted
   std::size_t voltage_samples = 0;
-  std::map<std::uint32_t, double> counter_totals;  ///< summed increments
+  std::vector<double> counter_totals;   ///< summed increments, by metric id
+  std::vector<std::uint8_t> counter_seen;
 };
 
 }  // namespace
@@ -60,60 +65,103 @@ std::vector<PhaseProfile> build_phase_profiles(const Trace& trace) {
     }
   }
 
-  std::map<std::string, PhaseAccumulator> accumulators;
-  std::string open_region;
+  // One linear pass over the columns. Phases are identified by interned
+  // region id; accumulators are preallocated per region, so no per-event
+  // string hashing or map traversal happens inside the loop.
+  const EventColumns& columns = trace.columns();
+  std::vector<PhaseAccumulator> accumulators(columns.regions.size());
+  for (PhaseAccumulator& acc : accumulators) {
+    acc.counter_totals.assign(metrics.size(), 0.0);
+    acc.counter_seen.assign(metrics.size(), 0);
+  }
+
+  constexpr std::uint32_t kNoRegion = UINT32_MAX;
+  std::uint32_t open_region = kNoRegion;
   double region_start_s = 0;
   double last_metric_s = 0;  // async metrics cover (previous event, this one]
 
-  for (const Event& event : trace.events()) {
-    if (const auto* enter = std::get_if<RegionEnter>(&event)) {
-      PWX_REQUIRE(open_region.empty(), "nested regions are not phase regions ('",
-                  enter->region, "' inside '", open_region, "')");
-      open_region = enter->region;
-      region_start_s = units::ns_to_s(enter->time_ns);
-      last_metric_s = region_start_s;
-      auto& acc = accumulators[open_region];
-      if (acc.first_start_s < 0.0) {
-        acc.first_start_s = region_start_s;
-      }
-    } else if (const auto* exit = std::get_if<RegionExit>(&event)) {
-      PWX_REQUIRE(exit->region == open_region, "region exit '", exit->region,
-                  "' does not match open region '", open_region, "'");
-      const double t = units::ns_to_s(exit->time_ns);
-      auto& acc = accumulators[open_region];
-      acc.elapsed_s += t - region_start_s;
-      acc.last_end_s = t;
-      open_region.clear();
-    } else {
-      const auto& metric = std::get<MetricEvent>(event);
-      PWX_REQUIRE(!open_region.empty(), "metric event outside any phase region");
-      auto& acc = accumulators[open_region];
-      const double t = units::ns_to_s(metric.time_ns);
-      switch (metric_kind[metric.metric]) {
-        case 0: {  // async average over the sampling interval
-          const double dt = t - last_metric_s;
-          if (dt > 0) {
-            acc.power_time_product += metric.value * dt;
-            acc.power_time += dt;
-          }
-          last_metric_s = t;
-          break;
+  const std::size_t n = columns.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t id = columns.ids[i];
+    switch (static_cast<EventKind>(columns.kinds[i])) {
+      case EventKind::Enter: {
+        PWX_REQUIRE(open_region == kNoRegion, "nested regions are not phase regions ('",
+                    columns.regions.at(id), "' inside '",
+                    open_region == kNoRegion ? std::string()
+                                             : columns.regions.at(open_region),
+                    "')");
+        open_region = id;
+        region_start_s = units::ns_to_s(columns.times[i]);
+        last_metric_s = region_start_s;
+        PhaseAccumulator& acc = accumulators[id];
+        if (acc.first_start_s < 0.0) {
+          acc.first_start_s = region_start_s;
         }
-        case 1:
-          acc.voltage_sum += metric.value;
-          acc.voltage_samples += 1;
-          break;
-        case 2:
-          acc.counter_totals[metric.metric] += metric.value;
-          break;
+        break;
+      }
+      case EventKind::Exit: {
+        PWX_REQUIRE(open_region != kNoRegion && id == open_region, "region exit '",
+                    columns.regions.at(id), "' does not match open region '",
+                    open_region == kNoRegion ? std::string()
+                                             : columns.regions.at(open_region),
+                    "'");
+        const double t = units::ns_to_s(columns.times[i]);
+        PhaseAccumulator& acc = accumulators[id];
+        acc.elapsed_s += t - region_start_s;
+        acc.last_end_s = t;
+        open_region = kNoRegion;
+        break;
+      }
+      case EventKind::Metric:
+      default: {
+        PWX_REQUIRE(open_region != kNoRegion, "metric event outside any phase region");
+        PhaseAccumulator& acc = accumulators[open_region];
+        const double t = units::ns_to_s(columns.times[i]);
+        switch (metric_kind[id]) {
+          case 0: {  // async average over the sampling interval
+            const double dt = t - last_metric_s;
+            if (dt > 0) {
+              acc.power_time_product += columns.values[i] * dt;
+              acc.power_time += dt;
+            }
+            last_metric_s = t;
+            break;
+          }
+          case 1:
+            acc.voltage_sum += columns.values[i];
+            acc.voltage_samples += 1;
+            break;
+          case 2:
+            acc.counter_totals[id] += columns.values[i];
+            acc.counter_seen[id] = 1;
+            break;
+        }
+        break;
       }
     }
   }
-  PWX_REQUIRE(open_region.empty(), "trace ends inside region '", open_region, "'");
+  PWX_REQUIRE(open_region == kNoRegion, "trace ends inside region '",
+              open_region == kNoRegion ? std::string() : columns.regions.at(open_region),
+              "'");
+
+  // Emit one profile per entered phase, sorted by phase name — the same
+  // output order the historical name-keyed map produced.
+  std::vector<std::uint32_t> order;
+  order.reserve(accumulators.size());
+  for (std::uint32_t id = 0; id < accumulators.size(); ++id) {
+    if (accumulators[id].first_start_s >= 0.0) {
+      order.push_back(id);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return columns.regions.at(a) < columns.regions.at(b);
+  });
 
   std::vector<PhaseProfile> profiles;
-  profiles.reserve(accumulators.size());
-  for (const auto& [phase, acc] : accumulators) {
+  profiles.reserve(order.size());
+  for (const std::uint32_t id : order) {
+    const PhaseAccumulator& acc = accumulators[id];
+    const std::string& phase = columns.regions.at(id);
     PhaseProfile profile;
     profile.workload = trace.attribute("workload");
     profile.phase = phase;
@@ -129,8 +177,10 @@ std::vector<PhaseProfile> build_phase_profiles(const Trace& trace) {
         acc.voltage_samples > 0
             ? acc.voltage_sum / static_cast<double>(acc.voltage_samples)
             : 0.0;
-    for (const auto& [metric_index, total] : acc.counter_totals) {
-      profile.counter_rates[metric_preset[metric_index]] = total / acc.elapsed_s;
+    for (std::size_t m = 0; m < acc.counter_totals.size(); ++m) {
+      if (acc.counter_seen[m]) {
+        profile.counter_rates[metric_preset[m]] = acc.counter_totals[m] / acc.elapsed_s;
+      }
     }
     profiles.push_back(std::move(profile));
   }

@@ -1,12 +1,25 @@
 // Binary serialization of OTF2-lite traces.
 //
-// A compact little-endian format ("OTF2-lite v2"): magic, attribute table,
-// metric definitions, the event stream, and an FNV-1a checksum footer over
-// the whole body. Mirrors OTF2's role of moving traces between the
-// acquisition machine and the analysis tooling; the reader fully validates
-// structure AND integrity, so any truncation or bit flip — including ones
-// inside numeric payloads that would parse fine — fails loudly instead of
-// producing silent garbage profiles.
+// Two on-disk generations share one reader entry point:
+//
+//   v3 ("OTF2LTv3", current writer) — a section-table format laid out for
+//   bulk I/O: after the magic comes a table of (section id, byte size)
+//   entries, then the attribute / metric / region-table / event sections.
+//   The event section stores the columnar arrays (times, kinds, ids,
+//   values) as contiguous little-endian blocks, so writing and reading are
+//   a handful of bulk copies instead of per-record stream operations. The
+//   body is covered by an FNV-1a checksum footer computed over 64-bit
+//   lanes, keeping the v2 end-to-end integrity contract at a fraction of
+//   the per-byte hashing cost.
+//
+//   v2 ("OTF2LTv2", legacy) — per-record little-endian stream with a
+//   byte-wise FNV-1a footer. read_trace() transparently falls back to the
+//   v2 parser, so archived traces stay readable; write_trace_v2() keeps
+//   producing the legacy bytes for compatibility tooling and tests.
+//
+// Both readers fully validate structure AND integrity, so any truncation
+// or bit flip — including ones inside numeric payloads that would parse
+// fine — fails loudly instead of producing silent garbage profiles.
 #pragma once
 
 #include <iosfwd>
@@ -16,13 +29,18 @@
 
 namespace pwx::trace {
 
-/// Serialize to a binary stream / file. Throws pwx::IoError on failure.
+/// Serialize to a binary stream / file (v3 section-table format). Throws
+/// pwx::IoError on failure.
 void write_trace(const Trace& trace, std::ostream& out);
 void write_trace_file(const Trace& trace, const std::string& path);
 
-/// Deserialize; throws pwx::IoError on malformed, truncated, or corrupted
-/// input. The error carries the byte offset and event-record index where
-/// parsing stopped (IoError::byte_offset / record_index).
+/// Serialize in the legacy v2 per-record format (compatibility writer for
+/// archival tooling and read-compat tests).
+void write_trace_v2(const Trace& trace, std::ostream& out);
+
+/// Deserialize v3 or v2 bytes; throws pwx::IoError on malformed, truncated,
+/// or corrupted input. The error carries the byte offset and event-record
+/// index where parsing stopped (IoError::byte_offset / record_index).
 Trace read_trace(std::istream& in);
 Trace read_trace_file(const std::string& path);
 

@@ -31,16 +31,60 @@ std::uint64_t Trace::event_time(const Event& event) {
   return std::visit([](const auto& e) { return e.time_ns; }, event);
 }
 
-void Trace::append(Event event) {
-  const std::uint64_t t = event_time(event);
-  PWX_REQUIRE(t >= last_time_ns_, "events must be chronological: ", t, " after ",
-              last_time_ns_);
-  if (const auto* metric = std::get_if<MetricEvent>(&event)) {
-    PWX_REQUIRE(metric->metric < metrics_.size(), "metric index ", metric->metric,
-                " not defined");
+void Trace::check_time(std::uint64_t time_ns) {
+  PWX_REQUIRE(time_ns >= last_time_ns_, "events must be chronological: ", time_ns,
+              " after ", last_time_ns_);
+  last_time_ns_ = time_ns;
+}
+
+void Trace::append(RegionEnter event) {
+  check_time(event.time_ns);
+  events_.push_enter(event.time_ns, events_.regions.intern(event.region));
+}
+
+void Trace::append(RegionExit event) {
+  check_time(event.time_ns);
+  events_.push_exit(event.time_ns, events_.regions.intern(event.region));
+}
+
+void Trace::append(MetricEvent event) {
+  check_time(event.time_ns);
+  PWX_REQUIRE(event.metric < metrics_.size(), "metric index ", event.metric,
+              " not defined");
+  events_.push_metric(event.time_ns, event.metric, event.value);
+}
+
+void Trace::append(const Event& event) {
+  std::visit([this](const auto& e) { append(e); }, event);
+}
+
+void Trace::adopt_columns(EventColumns columns) {
+  PWX_REQUIRE(events_.empty(), "adopt_columns requires an empty event stream");
+  const std::size_t n = columns.size();
+  PWX_REQUIRE(columns.kinds.size() == n && columns.ids.size() == n &&
+                  columns.values.size() == n,
+              "event columns must have equal lengths");
+  std::uint64_t last = last_time_ns_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t t = columns.times[i];
+    PWX_REQUIRE(t >= last, "events must be chronological: ", t, " after ", last);
+    last = t;
+    switch (static_cast<EventKind>(columns.kinds[i])) {
+      case EventKind::Enter:
+      case EventKind::Exit:
+        PWX_REQUIRE(columns.ids[i] < columns.regions.size(), "region id ",
+                    columns.ids[i], " not interned");
+        break;
+      case EventKind::Metric:
+        PWX_REQUIRE(columns.ids[i] < metrics_.size(), "metric index ",
+                    columns.ids[i], " not defined");
+        break;
+      default:
+        PWX_REQUIRE(false, "unknown event kind ", static_cast<int>(columns.kinds[i]));
+    }
   }
-  last_time_ns_ = t;
-  events_.push_back(std::move(event));
+  last_time_ns_ = last;
+  events_ = std::move(columns);
 }
 
 void Trace::set_attribute(const std::string& key, const std::string& value) {

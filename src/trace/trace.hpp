@@ -7,13 +7,19 @@
 // region enter/exit events mark workload phases, metric events carry the
 // asynchronously sampled power/voltage/PMC values, and global attributes
 // record the run configuration (workload, f_clk, thread count).
+//
+// Storage is columnar (trace/columns.hpp): events live in SoA arrays with an
+// interned region table, which is what serialization and phase-profiling
+// scan. events() returns a view that materializes the classic Event variant
+// per record, so variant-based callers keep working unchanged.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
-#include <variant>
+#include <unordered_map>
 #include <vector>
+
+#include "trace/columns.hpp"
 
 namespace pwx::trace {
 
@@ -31,28 +37,11 @@ struct MetricDefinition {
   MetricMode mode = MetricMode::AsyncAverage;
 };
 
-/// A phase/region boundary.
-struct RegionEnter {
-  std::uint64_t time_ns = 0;
-  std::string region;
-};
-struct RegionExit {
-  std::uint64_t time_ns = 0;
-  std::string region;
-};
-
-/// One metric sample referencing a definition by index.
-struct MetricEvent {
-  std::uint64_t time_ns = 0;
-  std::uint32_t metric = 0;
-  double value = 0.0;
-};
-
-using Event = std::variant<RegionEnter, RegionExit, MetricEvent>;
-
 /// An in-memory OTF2-lite trace.
 class Trace {
 public:
+  using AttributeMap = std::unordered_map<std::string, std::string>;
+
   /// Register a metric; returns its index. Names must be unique.
   std::uint32_t define_metric(MetricDefinition definition);
 
@@ -61,15 +50,32 @@ public:
   bool has_metric(const std::string& name) const;
 
   /// Append an event. Events must be appended in non-decreasing time order
-  /// (chronological stream); violations throw.
-  void append(Event event);
+  /// (chronological stream); violations throw. The typed overloads skip the
+  /// variant round-trip on hot append paths.
+  void append(RegionEnter event);
+  void append(RegionExit event);
+  void append(MetricEvent event);
+  void append(const Event& event);
 
   const std::vector<MetricDefinition>& metrics() const { return metrics_; }
-  const std::vector<Event>& events() const { return events_; }
+
+  /// The event stream as on-demand variant records (see EventView).
+  EventView events() const { return EventView(&events_); }
+
+  /// Direct access to the columnar store — the hot-path representation the
+  /// serializer and phase profiler scan.
+  const EventColumns& columns() const { return events_; }
+
+  /// Adopt a fully-built columnar store (bulk deserialization). Validates
+  /// the same invariants append() enforces — chronological order, metric
+  /// ids in range, region ids in range, known kinds — and throws
+  /// InvalidArgument on the first violation.
+  void adopt_columns(EventColumns columns);
 
   /// Free-form trace attributes (workload name, frequency, threads, ...).
-  std::map<std::string, std::string>& attributes() { return attributes_; }
-  const std::map<std::string, std::string>& attributes() const { return attributes_; }
+  /// Unordered; serialization and tools emit them sorted by key.
+  AttributeMap& attributes() { return attributes_; }
+  const AttributeMap& attributes() const { return attributes_; }
 
   /// Attribute access with type conversion helpers.
   void set_attribute(const std::string& key, const std::string& value);
@@ -81,10 +87,12 @@ public:
   static std::uint64_t event_time(const Event& event);
 
 private:
+  void check_time(std::uint64_t time_ns);
+
   std::vector<MetricDefinition> metrics_;
-  std::map<std::string, std::uint32_t> metric_by_name_;
-  std::vector<Event> events_;
-  std::map<std::string, std::string> attributes_;
+  std::unordered_map<std::string, std::uint32_t> metric_by_name_;
+  EventColumns events_;
+  AttributeMap attributes_;
   std::uint64_t last_time_ns_ = 0;
 };
 

@@ -1,6 +1,8 @@
 // Tests for dataset assembly and acquisition campaigns.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <set>
 
 #include "acquire/campaign.hpp"
@@ -8,6 +10,8 @@
 #include "common/error.hpp"
 #include "pmc/scheduler.hpp"
 #include "sim/engine.hpp"
+#include "trace/plugins.hpp"
+#include "trace/serialize.hpp"
 #include "workloads/registry.hpp"
 
 namespace pwx::acquire {
@@ -217,6 +221,51 @@ TEST(Campaign, StandardDatasetsAreCachedAndConsistent) {
     freqs.insert(row.frequency_ghz);
   }
   EXPECT_EQ(freqs.size(), 5u);  // the paper's five DVFS states
+}
+
+TEST(Campaign, IngestTraceFilesMergesMultiplexedRuns) {
+  // Two runs of the same configuration, each recording a different event
+  // group — the multiplexed-acquisition layout ingest_trace_files reduces.
+  const sim::Engine engine = sim::Engine::haswell_ep();
+  // Pid-suffixed so parallel ctest processes never share fixture files.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("pwx_acquire_ingest_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::vector<pmc::Preset> groups[2] = {
+      {pmc::Preset::TOT_CYC, pmc::Preset::TOT_INS},
+      {pmc::Preset::PRF_DM, pmc::Preset::BR_MSP}};
+  std::vector<std::string> paths;
+  for (int i = 0; i < 2; ++i) {
+    sim::RunConfig rc;
+    rc.interval_s = 0.25;
+    rc.duration_scale = 0.1;
+    rc.seed = 11 + i;
+    const auto workload = workloads::find_workload("compute");
+    const trace::Trace t =
+        trace::build_standard_trace(engine.run(*workload, rc), groups[i]);
+    paths.push_back((dir / ("run" + std::to_string(i) + ".otf2l")).string());
+    trace::write_trace_file(t, paths.back());
+  }
+
+  const Dataset ds = ingest_trace_files(paths);
+  ASSERT_EQ(ds.size(), 1u);
+  const DataRow& row = ds.rows()[0];
+  EXPECT_EQ(row.workload, "compute");
+  EXPECT_EQ(row.suite, workloads::Suite::Roco2);  // registry lookup
+  EXPECT_EQ(row.runs_merged, 2u);
+  EXPECT_TRUE(row.has(pmc::Preset::TOT_CYC));
+  EXPECT_TRUE(row.has(pmc::Preset::TOT_INS));
+  EXPECT_TRUE(row.has(pmc::Preset::PRF_DM));
+  EXPECT_TRUE(row.has(pmc::Preset::BR_MSP));
+  EXPECT_GT(row.avg_power_watts, 0.0);
+  EXPECT_TRUE(ds.quality().clean());
+  EXPECT_EQ(ds.quality().sanitize.rows_checked, 1u);
+}
+
+TEST(Campaign, IngestTraceFilesOfEmptyPathListIsEmpty) {
+  const Dataset ds = ingest_trace_files({});
+  EXPECT_TRUE(ds.empty());
+  EXPECT_TRUE(ds.quality().clean());
 }
 
 }  // namespace

@@ -1,15 +1,28 @@
-// Tests for the OTF2-lite trace layer: records, serialization, metric
-// plugins, and phase-profile post-processing.
+// Tests for the OTF2-lite trace layer: records, the columnar event store,
+// serialization (v3 + legacy v2), metric plugins, phase-profile
+// post-processing, and batch campaign ingestion.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <random>
 #include <sstream>
+#include <tuple>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "common/error.hpp"
 #include "sim/engine.hpp"
+#include "trace/columns.hpp"
 #include "trace/phase_profile.hpp"
 #include "trace/plugins.hpp"
+#include "trace/profile_campaign.hpp"
 #include "trace/serialize.hpp"
 #include "trace/trace.hpp"
 #include "workloads/registry.hpp"
@@ -378,6 +391,425 @@ TEST(PhaseProfile, UnbalancedRegionsRejected) {
   t.set_attribute("threads", 1.0);
   t.append(RegionEnter{0, "a"});
   EXPECT_THROW(build_phase_profiles(t), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- columnar store
+
+/// Appends `count` random (but chronological and well-formed) events to `t`
+/// and returns the same events as plain variant records.
+std::vector<Event> append_random_events(Trace& t, std::size_t count,
+                                        std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> kind_dist(0, 2);
+  std::uniform_int_distribution<std::uint64_t> dt_dist(0, 1000000);
+  std::uniform_real_distribution<double> value_dist(-1e9, 1e9);
+  const char* regions[] = {"alpha", "beta", "gamma"};
+  const std::uint32_t metrics[] = {t.define_metric({"m0", "W", MetricMode::AsyncAverage}),
+                                   t.define_metric({"m1", "V", MetricMode::AsyncInstant})};
+  std::vector<Event> reference;
+  std::uint64_t time = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    time += dt_dist(rng);
+    switch (kind_dist(rng)) {
+      case 0: {
+        RegionEnter e{time, regions[i % 3]};
+        t.append(e);
+        reference.emplace_back(e);
+        break;
+      }
+      case 1: {
+        RegionExit e{time, regions[i % 3]};
+        t.append(e);
+        reference.emplace_back(e);
+        break;
+      }
+      default: {
+        MetricEvent e{time, metrics[i % 2], value_dist(rng)};
+        t.append(e);
+        reference.emplace_back(e);
+        break;
+      }
+    }
+  }
+  return reference;
+}
+
+void expect_events_equal(const Trace& t, const std::vector<Event>& reference) {
+  ASSERT_EQ(t.events().size(), reference.size());
+  std::size_t i = 0;
+  // Exercise the view's iterator and indexing simultaneously.
+  for (const Event& event : t.events()) {
+    ASSERT_EQ(event.index(), reference[i].index()) << "event " << i;
+    const Event indexed = t.events()[i];
+    ASSERT_EQ(indexed.index(), reference[i].index());
+    if (const auto* enter = std::get_if<RegionEnter>(&event)) {
+      EXPECT_EQ(enter->time_ns, std::get<RegionEnter>(reference[i]).time_ns);
+      EXPECT_EQ(enter->region, std::get<RegionEnter>(reference[i]).region);
+    } else if (const auto* exit = std::get_if<RegionExit>(&event)) {
+      EXPECT_EQ(exit->time_ns, std::get<RegionExit>(reference[i]).time_ns);
+      EXPECT_EQ(exit->region, std::get<RegionExit>(reference[i]).region);
+    } else {
+      const auto& metric = std::get<MetricEvent>(event);
+      const auto& expected = std::get<MetricEvent>(reference[i]);
+      EXPECT_EQ(metric.time_ns, expected.time_ns);
+      EXPECT_EQ(metric.metric, expected.metric);
+      EXPECT_EQ(metric.value, expected.value);
+    }
+    ++i;
+  }
+}
+
+TEST(Columns, ViewMatchesAppendedVariantsOnRandomTraces) {
+  for (std::uint32_t seed : {1u, 2u, 3u}) {
+    Trace t;
+    const auto reference = append_random_events(t, 500, seed);
+    expect_events_equal(t, reference);
+    EXPECT_EQ(t.columns().size(), reference.size());
+  }
+}
+
+TEST(Columns, EquivalenceSurvivesSerializationRoundTrip) {
+  Trace t;
+  t.set_attribute("workload", "rand");
+  const auto reference = append_random_events(t, 300, 99);
+  std::stringstream buffer;
+  write_trace(t, buffer);
+  const Trace loaded = read_trace(buffer);
+  expect_events_equal(loaded, reference);
+}
+
+TEST(Columns, StringTableInternsAndLooksUp) {
+  StringTable table;
+  EXPECT_EQ(table.intern("a"), 0u);
+  EXPECT_EQ(table.intern("b"), 1u);
+  EXPECT_EQ(table.intern("a"), 0u);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.at(1), "b");
+  EXPECT_EQ(table.find("b"), std::optional<std::uint32_t>(1u));
+  EXPECT_FALSE(table.find("c").has_value());
+  EXPECT_THROW(table.at(2), InvalidArgument);
+}
+
+TEST(Columns, AdoptColumnsValidatesInvariants) {
+  {  // chronology
+    EventColumns c;
+    c.push_enter(100, c.regions.intern("a"));
+    c.push_exit(50, 0);
+    Trace t;
+    EXPECT_THROW(t.adopt_columns(std::move(c)), InvalidArgument);
+  }
+  {  // undefined metric id
+    EventColumns c;
+    c.push_metric(0, 7, 1.0);
+    Trace t;
+    EXPECT_THROW(t.adopt_columns(std::move(c)), InvalidArgument);
+  }
+  {  // unknown kind byte
+    EventColumns c;
+    c.push_enter(0, c.regions.intern("a"));
+    c.kinds[0] = 42;
+    Trace t;
+    EXPECT_THROW(t.adopt_columns(std::move(c)), InvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------- v2 compatibility
+
+TEST(SerializeV2, RoundTripsThroughSharedReader) {
+  const Trace original = make_small_trace();
+  std::stringstream buffer;
+  write_trace_v2(original, buffer);
+  const Trace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.attributes(), original.attributes());
+  ASSERT_EQ(loaded.metrics().size(), original.metrics().size());
+  ASSERT_EQ(loaded.events().size(), original.events().size());
+  for (std::size_t i = 0; i < loaded.events().size(); ++i) {
+    EXPECT_EQ(Trace::event_time(loaded.events()[i]),
+              Trace::event_time(original.events()[i]));
+    EXPECT_EQ(loaded.events()[i].index(), original.events()[i].index());
+  }
+}
+
+// Golden v2 bytes of make_small_trace(), captured before the v3 format
+// landed. Guards two contracts at once: archived v2 files stay readable,
+// and write_trace_v2 keeps producing the exact legacy bytes.
+const unsigned char kGoldenV2[] = {
+    0x4f, 0x54, 0x46, 0x32, 0x4c, 0x54, 0x76, 0x32, 0x03, 0x00, 0x00, 0x00,
+    0x0d, 0x00, 0x00, 0x00, 0x66, 0x72, 0x65, 0x71, 0x75, 0x65, 0x6e, 0x63,
+    0x79, 0x5f, 0x67, 0x68, 0x7a, 0x0b, 0x00, 0x00, 0x00, 0x32, 0x2e, 0x34,
+    0x30, 0x30, 0x30, 0x30, 0x30, 0x30, 0x30, 0x30, 0x07, 0x00, 0x00, 0x00,
+    0x74, 0x68, 0x72, 0x65, 0x61, 0x64, 0x73, 0x0b, 0x00, 0x00, 0x00, 0x34,
+    0x2e, 0x30, 0x30, 0x30, 0x30, 0x30, 0x30, 0x30, 0x30, 0x30, 0x08, 0x00,
+    0x00, 0x00, 0x77, 0x6f, 0x72, 0x6b, 0x6c, 0x6f, 0x61, 0x64, 0x04, 0x00,
+    0x00, 0x00, 0x75, 0x6e, 0x69, 0x74, 0x03, 0x00, 0x00, 0x00, 0x05, 0x00,
+    0x00, 0x00, 0x70, 0x6f, 0x77, 0x65, 0x72, 0x01, 0x00, 0x00, 0x00, 0x57,
+    0x00, 0x0c, 0x00, 0x00, 0x00, 0x63, 0x6f, 0x72, 0x65, 0x5f, 0x76, 0x6f,
+    0x6c, 0x74, 0x61, 0x67, 0x65, 0x01, 0x00, 0x00, 0x00, 0x56, 0x01, 0x0c,
+    0x00, 0x00, 0x00, 0x50, 0x41, 0x50, 0x49, 0x5f, 0x54, 0x4f, 0x54, 0x5f,
+    0x43, 0x59, 0x43, 0x06, 0x00, 0x00, 0x00, 0x65, 0x76, 0x65, 0x6e, 0x74,
+    0x73, 0x02, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x07, 0x00, 0x00, 0x00, 0x70,
+    0x68, 0x61, 0x73, 0x65, 0x5f, 0x61, 0x03, 0x00, 0xca, 0x9a, 0x3b, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x59, 0x40, 0x03, 0x00, 0xca, 0x9a, 0x3b, 0x00, 0x00, 0x00, 0x00,
+    0x01, 0x00, 0x00, 0x00, 0xcd, 0xcc, 0xcc, 0xcc, 0xcc, 0xcc, 0xec, 0x3f,
+    0x03, 0x00, 0xca, 0x9a, 0x3b, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x20, 0x5f, 0xa0, 0xf2, 0x41, 0x03, 0x00, 0x94,
+    0x35, 0x77, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x80, 0x5b, 0x40, 0x03, 0x00, 0x94, 0x35, 0x77, 0x00,
+    0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0xcd, 0xcc, 0xcc, 0xcc, 0xcc,
+    0xcc, 0xec, 0x3f, 0x03, 0x00, 0x94, 0x35, 0x77, 0x00, 0x00, 0x00, 0x00,
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x40, 0x1b, 0x5f, 0xf3, 0x41,
+    0x02, 0x00, 0x94, 0x35, 0x77, 0x00, 0x00, 0x00, 0x00, 0x07, 0x00, 0x00,
+    0x00, 0x70, 0x68, 0x61, 0x73, 0x65, 0x5f, 0x61, 0x90, 0xd5, 0xc7, 0x56,
+    0x6d, 0x76, 0xa7, 0xc9};
+
+TEST(SerializeV2, GoldenBytesStayReadable) {
+  const std::string data(reinterpret_cast<const char*>(kGoldenV2), sizeof kGoldenV2);
+  std::stringstream in(data);
+  const Trace loaded = read_trace(in);
+  const Trace expected = make_small_trace();
+  EXPECT_EQ(loaded.attributes(), expected.attributes());
+  ASSERT_EQ(loaded.metrics().size(), 3u);
+  EXPECT_EQ(loaded.metrics()[2].name, "PAPI_TOT_CYC");
+  ASSERT_EQ(loaded.events().size(), expected.events().size());
+  const auto profiles = build_phase_profiles(loaded);
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_NEAR(profiles[0].avg_power_watts, 105.0, 1e-9);
+}
+
+TEST(SerializeV2, WriterReproducesGoldenBytes) {
+  std::ostringstream os;
+  write_trace_v2(make_small_trace(), os);
+  const std::string produced = os.str();
+  ASSERT_EQ(produced.size(), sizeof kGoldenV2);
+  EXPECT_EQ(produced,
+            std::string(reinterpret_cast<const char*>(kGoldenV2), sizeof kGoldenV2));
+}
+
+TEST(SerializeV2, CorruptionSweepAlwaysFailsTyped) {
+  const auto run = quick_run("md");
+  const Trace original = build_standard_trace(run, {pmc::Preset::TOT_CYC});
+  std::stringstream buffer;
+  write_trace_v2(original, buffer);
+  const std::string data = buffer.str();
+  ASSERT_GT(data.size(), 128u);
+  for (std::size_t cut = 0; cut < data.size(); cut += 64) {
+    std::stringstream in(data.substr(0, cut));
+    EXPECT_THROW(read_trace(in), IoError) << "truncation at byte " << cut;
+  }
+  for (std::size_t pos = 0; pos < data.size(); pos += 64) {
+    std::string flipped = data;
+    flipped[pos] ^= 0x10;
+    std::stringstream in(flipped);
+    EXPECT_THROW(read_trace(in), IoError) << "bit flip at byte " << pos;
+  }
+}
+
+TEST(Serialize, V3RoundTripIsBitIdentical) {
+  const auto run = quick_run("md");
+  const Trace original = build_standard_trace(run, {pmc::Preset::TOT_CYC,
+                                                    pmc::Preset::PRF_DM});
+  std::stringstream first;
+  write_trace(original, first);
+  std::stringstream in(first.str());
+  const Trace loaded = read_trace(in);
+  std::stringstream second;
+  write_trace(loaded, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+// Every truncation of a v3 stream must carry a usable diagnosis: a byte
+// offset always, and — when the cut lands inside the bulk event arrays — a
+// non-negative record index (the first event that could not be recovered).
+TEST(Serialize, V3TruncationSweepKeepsOffsetContract) {
+  const Trace original = make_small_trace();
+  std::stringstream buffer;
+  write_trace(original, buffer);
+  const std::string data = buffer.str();
+
+  // The event section holds 8 events; its arrays occupy the last
+  // 8*(8+1+4+8) bytes of the body before the checksum footer.
+  const std::size_t arrays_begin = data.size() - 8 - 8 * 21;
+  for (std::size_t cut = 9; cut < data.size(); cut += 7) {
+    std::stringstream in(data.substr(0, cut));
+    try {
+      read_trace(in);
+      FAIL() << "truncation at byte " << cut << " must not parse";
+    } catch (const IoError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Corruption) << "cut " << cut;
+      EXPECT_GE(e.byte_offset(), 0) << "cut " << cut;
+      if (cut >= arrays_begin + 8) {
+        EXPECT_GE(e.record_index(), 0) << "cut " << cut;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- profile campaign
+
+/// Scratch directory for the campaign fixture. Each gtest case runs as its
+/// own ctest process, so the name carries the pid to keep concurrent test
+/// processes from rewriting each other's fixture files mid-read.
+std::filesystem::path campaign_fixture_dir() {
+  return std::filesystem::temp_directory_path() /
+         ("pwx_trace_campaign_test_" + std::to_string(::getpid()));
+}
+
+/// A small multiplexed campaign fixture: two event groups per workload, so
+/// batch ingestion has real cross-run merging to do.
+const std::vector<std::string>& campaign_fixture_files() {
+  static const std::vector<std::string> paths = [] {
+    const sim::Engine engine = sim::Engine::haswell_ep();
+    const char* names[] = {"md", "md", "compute", "compute", "matmul", "matmul"};
+    const std::vector<pmc::Preset> groups[2] = {
+        {pmc::Preset::TOT_CYC, pmc::Preset::TOT_INS},
+        {pmc::Preset::PRF_DM, pmc::Preset::BR_MSP}};
+    const auto dir = campaign_fixture_dir();
+    std::filesystem::create_directories(dir);
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < 6; ++i) {
+      sim::RunConfig rc;
+      rc.interval_s = 0.25;
+      rc.duration_scale = 0.1;
+      rc.seed = 40 + i;
+      const auto workload = workloads::find_workload(names[i]);
+      const Trace t =
+          build_standard_trace(engine.run(*workload, rc), groups[i % 2]);
+      const std::string path = (dir / ("t" + std::to_string(i) + ".otf2l")).string();
+      write_trace_file(t, path);
+      out.push_back(path);
+    }
+    return out;
+  }();
+  return paths;
+}
+
+/// The plain serial loop ProfileCampaign must match bit for bit.
+std::vector<PhaseProfile> serial_reference(const std::vector<std::string>& paths) {
+  std::vector<std::vector<PhaseProfile>> groups;
+  std::vector<PhaseProfile> keys;
+  for (const std::string& path : paths) {
+    for (PhaseProfile& p : build_phase_profiles(read_trace_file(path))) {
+      std::size_t slot = keys.size();
+      for (std::size_t k = 0; k < keys.size(); ++k) {
+        if (keys[k].workload == p.workload && keys[k].phase == p.phase &&
+            keys[k].frequency_ghz == p.frequency_ghz && keys[k].threads == p.threads) {
+          slot = k;
+          break;
+        }
+      }
+      if (slot == keys.size()) {
+        keys.push_back(p);
+        groups.emplace_back();
+      }
+      groups[slot].push_back(std::move(p));
+    }
+  }
+  std::vector<PhaseProfile> out;
+  for (const auto& group : groups) {
+    out.push_back(merge_profiles(group));
+  }
+  return out;
+}
+
+void expect_profiles_identical(const std::vector<PhaseProfile>& actual,
+                               const std::vector<PhaseProfile>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].workload, expected[i].workload);
+    EXPECT_EQ(actual[i].phase, expected[i].phase);
+    EXPECT_EQ(actual[i].frequency_ghz, expected[i].frequency_ghz);
+    EXPECT_EQ(actual[i].threads, expected[i].threads);
+    EXPECT_EQ(actual[i].start_s, expected[i].start_s);
+    EXPECT_EQ(actual[i].end_s, expected[i].end_s);
+    EXPECT_EQ(actual[i].elapsed_s, expected[i].elapsed_s);
+    EXPECT_EQ(actual[i].avg_power_watts, expected[i].avg_power_watts);
+    EXPECT_EQ(actual[i].avg_voltage, expected[i].avg_voltage);
+    EXPECT_EQ(actual[i].runs_merged, expected[i].runs_merged);
+    EXPECT_EQ(actual[i].counter_rates, expected[i].counter_rates);  // exact doubles
+  }
+}
+
+class ProfileCampaignEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(ProfileCampaignEquivalence, BatchBitIdenticalToSerialLoop) {
+  const auto [threads, parallel] = GetParam();
+#ifdef _OPENMP
+  omp_set_num_threads(threads);
+#endif
+  const auto& paths = campaign_fixture_files();
+  ProfileCampaignOptions options;
+  options.parallel = parallel;
+  const auto batch = profile_trace_files(paths, options);
+  const auto expected = serial_reference(paths);
+  EXPECT_GT(batch.size(), 0u);
+  expect_profiles_identical(batch, expected);
+#ifdef _OPENMP
+  omp_set_num_threads(0);  // restore the runtime default
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadAndParallelSweep, ProfileCampaignEquivalence,
+                         ::testing::Combine(::testing::Values(1, 4, 16),
+                                            ::testing::Bool()));
+
+TEST(ProfileCampaign, MergesMultiplexedGroupsAcrossRuns) {
+  const auto profiles = profile_trace_files(campaign_fixture_files());
+  // 3 workloads; md has two phases -> 4 merged rows, each covering 2 runs
+  // and carrying all four multiplexed counters.
+  ASSERT_EQ(profiles.size(), 4u);
+  for (const PhaseProfile& p : profiles) {
+    EXPECT_EQ(p.runs_merged, 2u);
+    EXPECT_TRUE(p.has(pmc::Preset::TOT_CYC));
+    EXPECT_TRUE(p.has(pmc::Preset::PRF_DM));
+  }
+}
+
+TEST(ProfileCampaign, NoMergeKeepsPerRunRows) {
+  ProfileCampaignOptions options;
+  options.merge = false;
+  const auto profiles = profile_trace_files(campaign_fixture_files(), options);
+  // md twice (2 phases each) + compute twice + matmul twice = 8 rows.
+  EXPECT_EQ(profiles.size(), 8u);
+  for (const PhaseProfile& p : profiles) {
+    EXPECT_EQ(p.runs_merged, 1u);
+  }
+}
+
+TEST(ProfileCampaign, ErrorCarriesOffendingPath) {
+  auto paths = campaign_fixture_files();
+  paths.insert(paths.begin() + 1, "/nonexistent/missing.otf2l");
+  try {
+    profile_trace_files(paths);
+    FAIL() << "missing file must throw";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing.otf2l"), std::string::npos);
+  }
+}
+
+TEST(ProfileCampaign, CorruptFileSurfacesTypedError) {
+  auto paths = campaign_fixture_files();
+  // Write a corrupted copy of the first trace and splice it in.
+  std::ifstream in(paths[0], std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string data = ss.str();
+  data[data.size() / 2] ^= 0x04;
+  const auto bad = campaign_fixture_dir() / "bad.otf2l";
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << data;
+  }
+  paths.push_back(bad.string());
+  try {
+    profile_trace_files(paths);
+    FAIL() << "corrupt file must throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Corruption);
+    EXPECT_NE(std::string(e.what()).find("bad.otf2l"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -5,16 +5,20 @@
 //   pwx-trace-dump <trace.otf2l> --events [N]    # raw event stream (first N)
 //   pwx-trace-dump <trace.otf2l> --csv           # metric samples as CSV
 //   pwx-trace-dump <trace.otf2l> --json          # summary + profiles as JSON
+//   pwx-trace-dump <trace.otf2l> --profile       # full phase-profile table
 //
 // Exit codes: 0 ok, 1 generic error, 2 usage, 3 corrupt/truncated trace
 // (the IoError diagnosis — byte offset and record index — goes to stderr).
 //
 // The post-processing path is exactly the library's phase-profile builder,
 // so what this tool prints is what the modeling pipeline consumes.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
@@ -29,9 +33,17 @@ namespace {
 
 using namespace pwx;
 
+/// Attribute pairs sorted by key (the attribute map itself is unordered).
+std::vector<std::pair<std::string, std::string>> sorted_attributes(const trace::Trace& t) {
+  std::vector<std::pair<std::string, std::string>> attrs(t.attributes().begin(),
+                                                         t.attributes().end());
+  std::sort(attrs.begin(), attrs.end());
+  return attrs;
+}
+
 int print_summary(const trace::Trace& t) {
   std::puts("attributes:");
-  for (const auto& [key, value] : t.attributes()) {
+  for (const auto& [key, value] : sorted_attributes(t)) {
     std::printf("  %-16s %s\n", key.c_str(), value.c_str());
   }
   std::printf("\nmetrics (%zu):\n", t.metrics().size());
@@ -110,6 +122,33 @@ int print_json(const trace::Trace& t) {
   return 0;
 }
 
+/// --profile: the full phase-profile table the modeling pipeline consumes —
+/// one row per phase with its identification, plus every counter rate. The
+/// profiles come from the same columnar single-pass scan the library uses.
+int print_profiles(const trace::Trace& t) {
+  const auto profiles = trace::build_phase_profiles(t);
+  TablePrinter table({"workload", "phase", "f [GHz]", "threads", "elapsed [s]",
+                      "avg power [W]", "avg V"});
+  for (const trace::PhaseProfile& p : profiles) {
+    table.row({p.workload, p.phase, format_double(p.frequency_ghz, 2),
+               std::to_string(p.threads), format_double(p.elapsed_s, 3),
+               format_double(p.avg_power_watts, 2), format_double(p.avg_voltage, 3)});
+  }
+  table.print(std::cout);
+
+  std::puts("\ncounter rates:");
+  TablePrinter rates({"phase", "counter", "rate [1/s]", "per cycle"});
+  for (const trace::PhaseProfile& p : profiles) {
+    for (const auto& [preset, rate] : p.counter_rates) {
+      rates.row({p.phase, std::string(pmc::preset_name(preset)),
+                 format_double(rate, 1),
+                 format_double(p.rate_per_cycle(preset), 6)});
+    }
+  }
+  rates.print(std::cout);
+  return 0;
+}
+
 int print_csv(const trace::Trace& t) {
   CsvWriter csv(std::cout);
   csv.header({"time_s", "metric", "value"});
@@ -128,7 +167,7 @@ int print_csv(const trace::Trace& t) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <trace.otf2l> [--events [N] | --csv | --json]\n",
+                 "usage: %s <trace.otf2l> [--events [N] | --csv | --json | --profile]\n",
                  argv[0]);
     return 2;
   }
@@ -144,6 +183,9 @@ int main(int argc, char** argv) {
     }
     if (argc >= 3 && std::strcmp(argv[2], "--json") == 0) {
       return print_json(t);
+    }
+    if (argc >= 3 && std::strcmp(argv[2], "--profile") == 0) {
+      return print_profiles(t);
     }
     return print_summary(t);
   } catch (const pwx::IoError& e) {
