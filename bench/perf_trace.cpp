@@ -9,6 +9,7 @@
 
 #include "acquire/campaign.hpp"
 #include "sim/engine.hpp"
+#include "trace/mapped.hpp"
 #include "trace/phase_profile.hpp"
 #include "trace/plugins.hpp"
 #include "trace/serialize.hpp"
@@ -128,5 +129,206 @@ void BM_ProfileCampaign(benchmark::State& state) {
       static_cast<double>(acquire::ingest_trace_files(paths).size()));
 }
 BENCHMARK(BM_ProfileCampaign)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------- mapped ingest
+//
+// The zero-copy benches below are gated by bench_ingest_gate against
+// *buffered* timings captured under these names before the mmap path landed
+// (bench/perf_baseline.json), so the reported speedup is mapped-now vs
+// buffered-then on identical fixtures. Each fixture first asserts the mapped
+// output is bit-identical to the buffered output — a fast wrong answer must
+// never pass the gate.
+//
+// Fixtures are campaign-scale: the ROADMAP's target is multi-GB trace
+// directories, so the gated files carry hundreds of thousands of events
+// (multi-MB), where ingestion cost is dominated by moving bytes rather than
+// by per-open fixed costs. The sim-generated ~100 KB files above stay as the
+// fixtures for the (ungated) end-to-end acquire benches.
+
+// A synthetic but structurally faithful campaign trace: phase regions with
+// async power/voltage samples and counter increments at a fixed cadence.
+// ~602 events per (rep, phase); `reps` scales the file size.
+trace::Trace large_trace(const char* workload, double frequency_ghz,
+                         const std::vector<pmc::Preset>& group, int reps,
+                         std::uint64_t salt) {
+  trace::Trace t;
+  t.set_attribute("workload", workload);
+  t.set_attribute("frequency_ghz", frequency_ghz);
+  t.set_attribute("threads", 24.0);
+  const auto power =
+      t.define_metric({"power", "W", trace::MetricMode::AsyncAverage});
+  const auto volt =
+      t.define_metric({"core_voltage", "V", trace::MetricMode::AsyncInstant});
+  std::vector<std::uint32_t> ctrs;
+  for (const pmc::Preset preset : group) {
+    ctrs.push_back(t.define_metric({trace::ApapiPlugin::metric_name(preset),
+                                    "events", trace::MetricMode::CounterIncrement}));
+  }
+  std::uint64_t now = 0;
+  const char* phases[3] = {"compute", "memory", "idle"};
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const char* phase : phases) {
+      t.append(trace::RegionEnter{now, phase});
+      for (int i = 0; i < 100; ++i) {
+        now += 1000000;
+        t.append(trace::MetricEvent{now, power, 90.0 + ((i + salt) % 13)});
+        t.append(trace::MetricEvent{now, volt, 0.9});
+        for (const std::uint32_t c : ctrs) {
+          t.append(trace::MetricEvent{now, c, 1.0e8 + static_cast<double>(c + salt) * i});
+        }
+      }
+      t.append(trace::RegionExit{now, phase});
+      now += 1000000;
+    }
+  }
+  return t;
+}
+
+// Single-file gate fixture: ~198k events, ~4 MB.
+const std::string& shared_trace_path() {
+  static const std::string path = [] {
+    const std::string p =
+        (std::filesystem::temp_directory_path() / "pwx_perf_ingest.otf2l").string();
+    trace::write_trace_file(large_trace("md", 2.4, four_events(), 110, 0), p);
+    return p;
+  }();
+  return path;
+}
+
+// Campaign gate fixture: 64 files x ~198k events (~4.2 MB each), multiplexed
+// counter-group pairs across workloads and frequencies so the merge stage
+// has real work to do.
+const std::vector<std::string>& mapped_campaign_files(std::size_t count) {
+  static std::map<std::size_t, std::vector<std::string>> cache;
+  auto it = cache.find(count);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const char* names[] = {"md", "compute", "matmul", "memory_read"};
+  const double freqs[] = {1.2, 1.9, 2.4};
+  const std::vector<pmc::Preset> groups[2] = {
+      {pmc::Preset::TOT_CYC, pmc::Preset::TOT_INS},
+      {pmc::Preset::PRF_DM, pmc::Preset::BR_MSP}};
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("pwx_perf_mapped_" + std::to_string(count));
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < count; ++i) {
+    const trace::Trace t = large_trace(names[(i / 2) % 4], freqs[(i / 8) % 3],
+                                       groups[i % 2], 110, i);
+    const std::string path = (dir / ("trace_" + std::to_string(i) + ".otf2l")).string();
+    trace::write_trace_file(t, path);
+    paths.push_back(path);
+  }
+  return cache.emplace(count, std::move(paths)).first->second;
+}
+
+bool profiles_bit_identical(const std::vector<trace::PhaseProfile>& a,
+                            const std::vector<trace::PhaseProfile>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].workload != b[i].workload || a[i].phase != b[i].phase ||
+        a[i].frequency_ghz != b[i].frequency_ghz || a[i].threads != b[i].threads ||
+        a[i].elapsed_s != b[i].elapsed_s ||
+        a[i].avg_power_watts != b[i].avg_power_watts ||
+        a[i].avg_voltage != b[i].avg_voltage ||
+        a[i].counter_rates != b[i].counter_rates) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Live buffered reference on the same fixture (not gated — the gate compares
+// against the frozen pre-mmap numbers, this shows the current buffered cost).
+void BM_IngestToProfilesBuffered(benchmark::State& state) {
+  const std::string& path = shared_trace_path();
+  for (auto _ : state) {
+    const auto profiles = trace::build_phase_profiles(trace::read_trace_file(path));
+    benchmark::DoNotOptimize(profiles.size());
+  }
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_IngestToProfilesBuffered)->Unit(benchmark::kMillisecond);
+
+// Single file, deserialize-to-profiles: the tentpole hot path. Checksum
+// verification is deferred (MapOptions) — integrity for this fixture is
+// covered by the buffered comparison pass below.
+void BM_IngestToProfilesMapped(benchmark::State& state) {
+  const std::string& path = shared_trace_path();
+  const auto buffered = trace::build_phase_profiles(trace::read_trace_file(path));
+  {
+    const auto mapped = trace::MappedTraceFile::open(path);
+    if (!mapped.mapped() ||
+        !profiles_bit_identical(trace::build_phase_profiles(mapped.view()), buffered)) {
+      state.SkipWithError("mapped ingestion diverged from buffered");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    const auto file = trace::MappedTraceFile::open(path, {.verify_checksum = false});
+    const auto profiles = trace::build_phase_profiles(file.view());
+    benchmark::DoNotOptimize(profiles.size());
+  }
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(std::filesystem::file_size(path)));
+}
+BENCHMARK(BM_IngestToProfilesMapped)->Unit(benchmark::kMillisecond);
+
+// Same path with the checksum pass included, so the gate report shows what
+// deferral buys (not gated).
+void BM_IngestToProfilesMappedVerify(benchmark::State& state) {
+  const std::string& path = shared_trace_path();
+  for (auto _ : state) {
+    const auto file = trace::MappedTraceFile::open(path);
+    const auto profiles = trace::build_phase_profiles(file.view());
+    benchmark::DoNotOptimize(profiles.size());
+  }
+}
+BENCHMARK(BM_IngestToProfilesMappedVerify)->Unit(benchmark::kMillisecond);
+
+// Live buffered reference for the campaign fixture (not gated).
+void BM_ProfileCampaignBuffered(benchmark::State& state) {
+  const auto& paths = mapped_campaign_files(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const acquire::Dataset dataset = acquire::ingest_trace_files(paths);
+    benchmark::DoNotOptimize(dataset.size());
+  }
+}
+BENCHMARK(BM_ProfileCampaignBuffered)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ProfileCampaignMapped(benchmark::State& state) {
+  const auto& paths = mapped_campaign_files(static_cast<std::size_t>(state.range(0)));
+  acquire::IngestOptions options;
+  options.mmap = true;
+  options.verify_checksum = false;
+  {
+    const acquire::Dataset mapped = acquire::ingest_trace_files(paths, options);
+    const acquire::Dataset buffered = acquire::ingest_trace_files(paths);
+    bool identical = mapped.size() == buffered.size();
+    for (std::size_t i = 0; identical && i < mapped.size(); ++i) {
+      const acquire::DataRow& m = mapped.rows()[i];
+      const acquire::DataRow& b = buffered.rows()[i];
+      identical = m.workload == b.workload && m.phase == b.phase &&
+                  m.frequency_ghz == b.frequency_ghz && m.threads == b.threads &&
+                  m.avg_power_watts == b.avg_power_watts &&
+                  m.avg_voltage == b.avg_voltage && m.elapsed_s == b.elapsed_s &&
+                  m.counter_rates == b.counter_rates;
+    }
+    if (!identical) {
+      state.SkipWithError("mapped campaign diverged from buffered");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    const acquire::Dataset dataset = acquire::ingest_trace_files(paths, options);
+    benchmark::DoNotOptimize(dataset.size());
+  }
+}
+BENCHMARK(BM_ProfileCampaignMapped)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace

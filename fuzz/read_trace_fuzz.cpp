@@ -1,0 +1,103 @@
+// Fuzz harness for the OTF2-lite readers.
+//
+// Feeds arbitrary bytes through both ingestion paths — the buffered
+// read_trace and the zero-copy mapped parser — and enforces the invariants
+// the test suite's directed sweeps sample:
+//
+//   * no crash, no sanitizer finding, on any input;
+//   * the only escaping exception is pwx::IoError (typed rejection);
+//   * the two paths agree: both accept or both reject, and when they reject
+//     the diagnosis (message, byte offset, record index) is identical.
+//
+// Built under Clang this is a libFuzzer target (LLVMFuzzerTestOneInput);
+// under other toolchains fuzz/CMakeLists.txt compiles the same body into a
+// standalone replayer that runs every file passed on the command line —
+// useful for reproducing libFuzzer corpus findings under GCC+ASan/UBSan.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "trace/format.hpp"
+#include "trace/serialize.hpp"
+
+namespace {
+
+struct Rejection {
+  std::string what;
+  std::int64_t byte_offset;
+  std::int64_t record_index;
+
+  bool operator==(const Rejection& other) const = default;
+};
+
+/// Run one reader, capturing its rejection (nullopt = accepted).
+template <typename Fn>
+std::optional<Rejection> outcome(Fn&& read) {
+  try {
+    read();
+    return std::nullopt;
+  } catch (const pwx::IoError& e) {
+    return Rejection{e.what(), e.byte_offset(), e.record_index()};
+  }
+  // Anything else escapes: that is the crash the fuzzer is hunting.
+}
+
+void check_one_input(const std::uint8_t* data, std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  const auto buffered = outcome([&] {
+    std::istringstream in(bytes);
+    (void)pwx::trace::read_trace(in);
+  });
+
+  // The mapped path's v4 entry point, minus the mmap syscall: the shared
+  // parser over an aligned copy of the body, checksum last — byte-identical
+  // to what MappedTraceFile::open validates.
+  if (size >= 16 &&
+      std::memcmp(bytes.data(), pwx::trace::format::kMagicV4, 8) == 0) {
+    const auto mapped = outcome([&] {
+      const std::string body = bytes.substr(8);  // heap buffer: 8-aligned
+      const std::size_t body_size = body.size() - 8;
+      const auto parsed = pwx::trace::format::parse_trace_v4(body.data(), body_size);
+      pwx::trace::format::verify_checksum_v4(body.data(), body_size,
+                                             parsed.event_count);
+    });
+    if (buffered != mapped) {
+      __builtin_trap();  // divergent accept/reject between the two readers
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  check_one_input(data, size);
+  return 0;
+}
+
+#ifdef PWX_FUZZ_STANDALONE
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    check_one_input(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                    bytes.size());
+    std::fprintf(stderr, "%s: ok (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return 0;
+}
+#endif

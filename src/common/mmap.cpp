@@ -1,0 +1,107 @@
+#include "common/mmap.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace pwx {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* op) {
+  throw IoError("mmap: cannot " + std::string(op) + " '" + path +
+                    "': " + std::strerror(errno),
+                ErrorCode::Io);
+}
+
+}  // namespace
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+void MappedFile::reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+MappedFile MappedFile::map_readonly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    fail(path, "open");
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail(path, "stat");
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw IoError("mmap: '" + path + "' is not a regular file", ErrorCode::Io);
+  }
+
+  MappedFile out;
+  out.size_ = static_cast<std::size_t>(st.st_size);
+  if (out.size_ == 0) {
+    // mmap(length=0) is an error; an empty file is a valid (empty) mapping.
+    ::close(fd);
+    return out;
+  }
+
+  int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+  // Prefault the pages up front: trace readers touch every byte once, and a
+  // single populate walk is cheaper than taking per-page soft faults inside
+  // the parse/profile scan.
+  flags |= MAP_POPULATE;
+#endif
+  void* addr = ::mmap(nullptr, out.size_, PROT_READ, flags, fd, 0);
+#ifdef MAP_POPULATE
+  if (addr == MAP_FAILED) {
+    // Some filesystems reject MAP_POPULATE; retry plain before giving up.
+    addr = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
+#endif
+  if (addr == MAP_FAILED) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    out.size_ = 0;
+    fail(path, "mmap");
+  }
+  ::close(fd);
+  out.data_ = static_cast<const char*>(addr);
+#ifdef POSIX_MADV_SEQUENTIAL
+  // Best-effort readahead hint; ignore failures.
+  ::posix_madvise(addr, out.size_, POSIX_MADV_SEQUENTIAL);
+#endif
+  return out;
+}
+
+}  // namespace pwx

@@ -1,0 +1,52 @@
+// Read-only memory-mapped files (POSIX mmap behind RAII).
+//
+// MappedFile::map_readonly maps a whole file PROT_READ/MAP_PRIVATE and owns
+// the mapping for its lifetime; the file descriptor is closed immediately
+// after mapping, so a MappedFile holds exactly one kernel resource. The
+// mapped bytes alias the page cache — readers that validate structure once
+// and then scan the data in place (trace::MappedTraceFile) never copy the
+// file through userspace buffers at all.
+//
+// Lifetime rule: every pointer, std::span, or std::string_view derived from
+// data() is valid exactly as long as the owning MappedFile (moves keep the
+// mapping alive at the same address; destruction unmaps). Mutating the
+// underlying file while mapped is undefined from the reader's point of view
+// (MAP_PRIVATE does not snapshot pages that were not yet touched), which is
+// why the ingestion layer treats trace files as immutable once written and
+// re-ingests on size/mtime change instead of re-reading in place.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pwx {
+
+/// Move-only owner of one read-only file mapping.
+class MappedFile {
+public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// Map `path` read-only. Throws pwx::IoError (code Io) when the file
+  /// cannot be opened, stat'ed, or mapped — including filesystems without
+  /// mmap support, which callers treat as a signal to fall back to buffered
+  /// reads. A zero-byte file maps successfully with size() == 0.
+  static MappedFile map_readonly(const std::string& path);
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Release the mapping early (idempotent).
+  void reset();
+
+private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pwx

@@ -46,8 +46,15 @@ struct PhaseAccumulator {
 }  // namespace
 
 std::vector<PhaseProfile> build_phase_profiles(const Trace& trace) {
+  // Flatten to the shared view and run the one scan implementation; the
+  // adapter's spans alias the Trace's own columns, so this adds no copies.
+  const TraceViewAdapter adapter(trace);
+  return build_phase_profiles(adapter.view());
+}
+
+std::vector<PhaseProfile> build_phase_profiles(const TraceView& trace) {
   // Classify metrics once.
-  const auto& metrics = trace.metrics();
+  const auto& metrics = trace.metrics;
   std::vector<int> metric_kind(metrics.size());  // 0 power, 1 voltage, 2 counter
   std::vector<pmc::Preset> metric_preset(metrics.size(), pmc::Preset::kCount);
   for (std::size_t i = 0; i < metrics.size(); ++i) {
@@ -68,7 +75,7 @@ std::vector<PhaseProfile> build_phase_profiles(const Trace& trace) {
   // One linear pass over the columns. Phases are identified by interned
   // region id; accumulators are preallocated per region, so no per-event
   // string hashing or map traversal happens inside the loop.
-  const EventColumns& columns = trace.columns();
+  const EventColumnsView& columns = trace.columns;
   std::vector<PhaseAccumulator> accumulators(columns.regions.size());
   for (PhaseAccumulator& acc : accumulators) {
     acc.counter_totals.assign(metrics.size(), 0.0);
@@ -86,9 +93,9 @@ std::vector<PhaseProfile> build_phase_profiles(const Trace& trace) {
     switch (static_cast<EventKind>(columns.kinds[i])) {
       case EventKind::Enter: {
         PWX_REQUIRE(open_region == kNoRegion, "nested regions are not phase regions ('",
-                    columns.regions.at(id), "' inside '",
-                    open_region == kNoRegion ? std::string()
-                                             : columns.regions.at(open_region),
+                    columns.regions[id], "' inside '",
+                    open_region == kNoRegion ? std::string_view()
+                                             : columns.regions[open_region],
                     "')");
         open_region = id;
         region_start_s = units::ns_to_s(columns.times[i]);
@@ -101,9 +108,9 @@ std::vector<PhaseProfile> build_phase_profiles(const Trace& trace) {
       }
       case EventKind::Exit: {
         PWX_REQUIRE(open_region != kNoRegion && id == open_region, "region exit '",
-                    columns.regions.at(id), "' does not match open region '",
-                    open_region == kNoRegion ? std::string()
-                                             : columns.regions.at(open_region),
+                    columns.regions[id], "' does not match open region '",
+                    open_region == kNoRegion ? std::string_view()
+                                             : columns.regions[open_region],
                     "'");
         const double t = units::ns_to_s(columns.times[i]);
         PhaseAccumulator& acc = accumulators[id];
@@ -141,7 +148,7 @@ std::vector<PhaseProfile> build_phase_profiles(const Trace& trace) {
     }
   }
   PWX_REQUIRE(open_region == kNoRegion, "trace ends inside region '",
-              open_region == kNoRegion ? std::string() : columns.regions.at(open_region),
+              open_region == kNoRegion ? std::string_view() : columns.regions[open_region],
               "'");
 
   // Emit one profile per entered phase, sorted by phase name — the same
@@ -154,17 +161,17 @@ std::vector<PhaseProfile> build_phase_profiles(const Trace& trace) {
     }
   }
   std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    return columns.regions.at(a) < columns.regions.at(b);
+    return columns.regions[a] < columns.regions[b];
   });
 
   std::vector<PhaseProfile> profiles;
   profiles.reserve(order.size());
   for (const std::uint32_t id : order) {
     const PhaseAccumulator& acc = accumulators[id];
-    const std::string& phase = columns.regions.at(id);
+    const std::string_view phase = columns.regions[id];
     PhaseProfile profile;
-    profile.workload = trace.attribute("workload");
-    profile.phase = phase;
+    profile.workload = std::string(trace.attribute("workload"));
+    profile.phase = std::string(phase);
     profile.frequency_ghz = trace.attribute_as_double("frequency_ghz");
     profile.threads = static_cast<std::size_t>(trace.attribute_as_double("threads"));
     profile.start_s = acc.first_start_s;

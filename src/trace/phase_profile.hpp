@@ -14,6 +14,7 @@
 
 #include "pmc/events.hpp"
 #include "trace/trace.hpp"
+#include "trace/view.hpp"
 
 namespace pwx::trace {
 
@@ -43,6 +44,12 @@ struct PhaseProfile {
 /// Build phase profiles from a trace (one row per distinct phase name; if a
 /// phase region occurs multiple times its intervals are pooled).
 std::vector<PhaseProfile> build_phase_profiles(const Trace& trace);
+
+/// The same scan over a TraceView — the shared implementation both the owned
+/// Trace overload and the zero-copy mapped reader (trace/mapped.hpp) feed,
+/// so the two ingestion paths produce bit-identical profiles by
+/// construction.
+std::vector<PhaseProfile> build_phase_profiles(const TraceView& trace);
 
 /// Merge profiles of the *same workload/phase/frequency/thread-count* from
 /// multiple runs: async metrics and counter rates are averaged with

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "trace/mapped.hpp"
 #include "trace/serialize.hpp"
 
 namespace pwx::trace {
@@ -44,7 +45,13 @@ std::vector<PhaseProfile> ProfileCampaign::run() const {
     // Exceptions must not escape the OpenMP region; they are captured per
     // slot and rethrown deterministically afterwards.
     try {
-      per_file[i] = build_phase_profiles(read_trace_file(paths_[i]));
+      if (options_.mmap) {
+        const MappedTraceFile file =
+            MappedTraceFile::open(paths_[i], {.verify_checksum = options_.verify_checksum});
+        per_file[i] = build_phase_profiles(file.view());
+      } else {
+        per_file[i] = build_phase_profiles(read_trace_file(paths_[i]));
+      }
     } catch (...) {
       failures[i] = std::current_exception();
     }
@@ -65,8 +72,8 @@ std::vector<PhaseProfile> ProfileCampaign::run() const {
 
   // Stage 2: deterministic ordered merge. Keys appear in the output in the
   // order they first occur walking files in add order.
-  std::vector<PhaseProfile> out;
   if (!options_.merge) {
+    std::vector<PhaseProfile> out;
     for (auto& profiles : per_file) {
       for (auto& profile : profiles) {
         out.push_back(std::move(profile));
@@ -74,7 +81,11 @@ std::vector<PhaseProfile> ProfileCampaign::run() const {
     }
     return out;
   }
+  return merge_first_appearance(std::move(per_file));
+}
 
+std::vector<PhaseProfile> merge_first_appearance(
+    std::vector<std::vector<PhaseProfile>> per_file) {
   std::vector<std::vector<PhaseProfile>> groups;
   std::unordered_map<std::string, std::size_t> group_index;
   for (auto& profiles : per_file) {
@@ -88,6 +99,7 @@ std::vector<PhaseProfile> ProfileCampaign::run() const {
     }
   }
 
+  std::vector<PhaseProfile> out;
   out.reserve(groups.size());
   for (const auto& group : groups) {
     out.push_back(merge_profiles(group));

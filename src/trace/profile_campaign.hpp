@@ -21,6 +21,10 @@ namespace pwx::trace {
 struct ProfileCampaignOptions {
   bool parallel = true;  ///< profile input files concurrently (OpenMP)
   bool merge = true;     ///< merge same-key profiles across runs
+  bool mmap = false;     ///< zero-copy mapped ingestion (trace/mapped.hpp);
+                         ///< v2/v3 files fall back to the buffered reader
+  bool verify_checksum = true;  ///< verify checksum footers; only the mapped
+                                ///< path can skip them (buffered always does)
 };
 
 /// Accumulates trace-file paths and reduces them to phase profiles.
@@ -52,5 +56,14 @@ private:
 /// One-shot convenience wrapper around ProfileCampaign.
 std::vector<PhaseProfile> profile_trace_files(const std::vector<std::string>& paths,
                                               ProfileCampaignOptions options = {});
+
+/// The campaign's stage-2 reduction as a standalone step: merge same-key
+/// profiles across the per-file groups, keys ordered by first appearance
+/// walking the groups in input order. ProfileCampaign::run and the
+/// incremental engine (trace/incremental.hpp) both reduce through this one
+/// function, which is what makes a streamed campaign bit-identical to the
+/// cold batch over the same files.
+std::vector<PhaseProfile> merge_first_appearance(
+    std::vector<std::vector<PhaseProfile>> per_file);
 
 }  // namespace pwx::trace

@@ -8,65 +8,29 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "trace/format.hpp"
+#include "trace/view.hpp"
 
 namespace pwx::trace {
 
 namespace {
 
-// Format v2 adds end-to-end integrity: the body (everything after the magic)
-// is covered by a byte-wise FNV-1a checksum stored as a u64 footer. Format
-// v3 keeps the same magic/checksum/footer contract but hashes the body in
-// 64-bit lanes (8 bytes per multiply instead of 1) and lays the event
-// stream out as bulk columnar arrays behind a section table.
-constexpr char kMagicV2[8] = {'O', 'T', 'F', '2', 'L', 'T', 'v', '2'};
-constexpr char kMagicV3[8] = {'O', 'T', 'F', '2', 'L', 'T', 'v', '3'};
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-// Section ids of the v3 layout, in file order.
-enum : std::uint32_t {
-  kSectionAttributes = 1,
-  kSectionMetrics = 2,
-  kSectionRegions = 3,
-  kSectionEvents = 4,
-};
-constexpr std::size_t kSectionCount = 4;
-// u32 section count + per section (u32 id + u64 byte size).
-constexpr std::size_t kSectionTableBytes = 4 + kSectionCount * 12;
-// Bytes per event across the four columns: u64 time + u8 kind + u32 id + f64.
-constexpr std::size_t kEventBytes = 8 + 1 + 4 + 8;
-
-void fnv1a_update(std::uint64_t& hash, const char* data, std::size_t size) {
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= static_cast<unsigned char>(data[i]);
-    hash *= kFnvPrime;
-  }
-}
-
-/// FNV-1a over 64-bit little-endian lanes: full words first, then the
-/// zero-padded tail, then the length — one multiply per 8 bytes, so bulk
-/// bodies hash ~8x faster than the v2 per-byte loop while still flipping
-/// on any corrupted or truncated bit.
-std::uint64_t fnv1a_lanes(const char* data, std::size_t size) {
-  std::uint64_t hash = kFnvOffset;
-  std::size_t i = 0;
-  for (; i + 8 <= size; i += 8) {
-    std::uint64_t word = 0;
-    std::memcpy(&word, data + i, 8);
-    hash ^= word;
-    hash *= kFnvPrime;
-  }
-  if (i < size) {
-    std::uint64_t word = 0;
-    std::memcpy(&word, data + i, size - i);
-    hash ^= word;
-    hash *= kFnvPrime;
-  }
-  hash ^= static_cast<std::uint64_t>(size);
-  hash *= kFnvPrime;
-  return hash;
-}
+using format::fnv1a_lanes;
+using format::fnv1a_update;
+using format::kEventBytes;
+using format::kFnvOffset;
+using format::kHeaderBytesV3;
+using format::kHeaderBytesV4;
+using format::kMagicBytes;
+using format::kMagicV2;
+using format::kMagicV3;
+using format::kMagicV4;
+using format::kSectionAttributes;
+using format::kSectionCount;
+using format::kSectionEvents;
+using format::kSectionMetrics;
+using format::kSectionRegions;
+using format::pad8;
 
 void put_u8(std::ostream& out, std::uint8_t v) {
   out.put(static_cast<char>(v));
@@ -96,7 +60,7 @@ void put_string(std::ostream& out, const std::string& s) {
 }
 
 /// Attribute pairs sorted by key: the attribute map itself is unordered,
-/// but both formats serialize attributes in sorted order so identical
+/// but all formats serialize attributes in sorted order so identical
 /// traces always produce identical bytes.
 std::vector<std::pair<const std::string*, const std::string*>> sorted_attributes(
     const Trace& trace) {
@@ -195,9 +159,9 @@ private:
   }
 
   std::istream& in_;
-  std::uint64_t offset_ = sizeof kMagicV2;  ///< bytes consumed, incl. magic
-  std::int64_t record_ = -1;                ///< current event record (-1: header)
-  std::uint64_t checksum_ = kFnvOffset;     ///< running FNV-1a over body bytes
+  std::uint64_t offset_ = kMagicBytes;   ///< bytes consumed, incl. magic
+  std::int64_t record_ = -1;             ///< current event record (-1: header)
+  std::uint64_t checksum_ = kFnvOffset;  ///< running FNV-1a over body bytes
 };
 
 }  // namespace
@@ -277,9 +241,91 @@ void append_array(std::string& out, const std::vector<T>& values) {
              values.size() * sizeof(T));
 }
 
+/// Zero-pad `out` so the current section ends on an 8-byte boundary.
+void append_padding(std::string& out, std::size_t content_bytes) {
+  out.append(pad8(content_bytes) - content_bytes, '\0');
+}
+
 }  // namespace
 
 void write_trace(const Trace& trace, std::ostream& out) {
+  const EventColumns& columns = trace.columns();
+  const auto attrs = sorted_attributes(trace);
+
+  // Exact content sizes up front; each section is recorded and written at
+  // its zero-padded size so every section — and every event column inside
+  // the widest-first event section — starts on an 8-byte boundary.
+  std::size_t attr_bytes = 4;
+  for (const auto& [key, value] : attrs) {
+    attr_bytes += 8 + key->size() + value->size();
+  }
+  std::size_t metric_bytes = 4;
+  for (const MetricDefinition& metric : trace.metrics()) {
+    metric_bytes += 9 + metric.name.size() + metric.unit.size();
+  }
+  std::size_t region_bytes = 4;
+  for (const std::string& region : columns.regions.names()) {
+    region_bytes += 4 + region.size();
+  }
+  const std::size_t event_bytes = 8 + columns.size() * kEventBytes;
+
+  std::string body;
+  body.reserve(kHeaderBytesV4 + pad8(attr_bytes) + pad8(metric_bytes) +
+               pad8(region_bytes) + pad8(event_bytes));
+
+  append_u32(body, kSectionCount);
+  append_u32(body, 0);  // reserved
+  const std::pair<std::uint32_t, std::size_t> table[kSectionCount] = {
+      {kSectionAttributes, attr_bytes},
+      {kSectionMetrics, metric_bytes},
+      {kSectionRegions, region_bytes},
+      {kSectionEvents, event_bytes},
+  };
+  for (const auto& [id, size] : table) {
+    append_u32(body, id);
+    append_u32(body, 0);  // reserved
+    append_u64(body, pad8(size));
+  }
+
+  append_u32(body, static_cast<std::uint32_t>(attrs.size()));
+  for (const auto& [key, value] : attrs) {
+    append_string(body, *key);
+    append_string(body, *value);
+  }
+  append_padding(body, attr_bytes);
+
+  append_u32(body, static_cast<std::uint32_t>(trace.metrics().size()));
+  for (const MetricDefinition& metric : trace.metrics()) {
+    append_string(body, metric.name);
+    append_string(body, metric.unit);
+    append_u8(body, static_cast<std::uint8_t>(metric.mode));
+  }
+  append_padding(body, metric_bytes);
+
+  append_u32(body, static_cast<std::uint32_t>(columns.regions.size()));
+  for (const std::string& region : columns.regions.names()) {
+    append_string(body, region);
+  }
+  append_padding(body, region_bytes);
+
+  // Columns widest-first (times, values, ids, kinds) so each starts on an
+  // 8-byte boundary — the property the zero-copy reader aliases through.
+  append_u64(body, columns.size());
+  append_array(body, columns.times);
+  append_array(body, columns.values);
+  append_array(body, columns.ids);
+  append_array(body, columns.kinds);
+  append_padding(body, event_bytes);
+
+  out.write(kMagicV4, sizeof kMagicV4);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  put_u64(out, fnv1a_lanes(body.data(), body.size()));
+  if (!out) {
+    throw IoError("trace: write failed");
+  }
+}
+
+void write_trace_v3(const Trace& trace, std::ostream& out) {
   const EventColumns& columns = trace.columns();
   const auto attrs = sorted_attributes(trace);
 
@@ -300,7 +346,7 @@ void write_trace(const Trace& trace, std::ostream& out) {
   const std::size_t event_bytes = 8 + columns.size() * kEventBytes;
 
   std::string body;
-  body.reserve(kSectionTableBytes + attr_bytes + metric_bytes + region_bytes +
+  body.reserve(kHeaderBytesV3 + attr_bytes + metric_bytes + region_bytes +
                event_bytes);
 
   append_u32(body, kSectionCount);
@@ -447,7 +493,7 @@ public:
   [[noreturn]] void fail(const std::string& what, std::int64_t record = -1,
                          std::size_t at_pos = static_cast<std::size_t>(-1)) const {
     const std::size_t pos = at_pos == static_cast<std::size_t>(-1) ? pos_ : at_pos;
-    const std::size_t offset = pos + sizeof kMagicV3;
+    const std::size_t offset = pos + kMagicBytes;
     throw IoError("trace: " + what + " (byte " + std::to_string(offset) +
                       ", record " + std::to_string(record) + ")",
                   static_cast<std::int64_t>(offset), record);
@@ -521,8 +567,8 @@ std::vector<T> read_column(BufReader& reader, std::size_t count) {
 Trace read_body_v3(const std::string& buffer) {
   if (buffer.size() < 8) {
     throw IoError("trace: truncated before checksum footer (byte " +
-                      std::to_string(buffer.size() + sizeof kMagicV3) + ", record -1)",
-                  static_cast<std::int64_t>(buffer.size() + sizeof kMagicV3), -1);
+                      std::to_string(buffer.size() + kMagicBytes) + ", record -1)",
+                  static_cast<std::int64_t>(buffer.size() + kMagicBytes), -1);
   }
   const std::size_t body_size = buffer.size() - 8;
   BufReader reader(buffer.data(), body_size);
@@ -533,7 +579,7 @@ Trace read_body_v3(const std::string& buffer) {
     reader.fail("unexpected section count " + std::to_string(section_count));
   }
   std::size_t section_sizes[kSectionCount] = {};
-  std::size_t total = kSectionTableBytes;
+  std::size_t total = kHeaderBytesV3;
   for (std::size_t s = 0; s < kSectionCount; ++s) {
     const std::uint32_t id = reader.u32();
     if (id != s + 1) {
@@ -671,12 +717,37 @@ Trace read_body_v3(const std::string& buffer) {
   return trace;
 }
 
+Trace read_body_v4(const std::string& buffer) {
+  if (buffer.size() < 8) {
+    throw IoError("trace: truncated before checksum footer (byte " +
+                      std::to_string(buffer.size() + kMagicBytes) + ", record -1)",
+                  static_cast<std::int64_t>(buffer.size() + kMagicBytes), -1);
+  }
+  const std::size_t body_size = buffer.size() - 8;
+  // Structure first (precise positions), integrity last — the same parser
+  // and checksum pass the mapped reader uses, so both reject identically.
+  const format::ParsedTraceV4 parsed = format::parse_trace_v4(buffer.data(), body_size);
+  format::verify_checksum_v4(buffer.data(), body_size, parsed.event_count);
+  return to_trace(parsed.view());
+}
+
 }  // namespace
 
 Trace read_trace(std::istream& in) {
   char magic[8];
   if (!in.read(magic, sizeof magic)) {
     throw IoError("trace: bad magic (not an OTF2-lite file)", 0, -1);
+  }
+  if (std::memcmp(magic, kMagicV4, sizeof magic) == 0) {
+    const std::string buffer = read_remaining(in);
+    try {
+      return read_body_v4(buffer);
+    } catch (const IoError&) {
+      throw;
+    } catch (const Error& e) {
+      throw IoError(std::string("trace: invalid record: ") + e.what(),
+                    static_cast<std::int64_t>(sizeof magic), -1);
+    }
   }
   if (std::memcmp(magic, kMagicV3, sizeof magic) == 0) {
     const std::string buffer = read_remaining(in);

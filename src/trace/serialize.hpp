@@ -1,23 +1,26 @@
 // Binary serialization of OTF2-lite traces.
 //
-// Two on-disk generations share one reader entry point:
+// Three on-disk generations share one reader entry point:
 //
-//   v3 ("OTF2LTv3", current writer) — a section-table format laid out for
-//   bulk I/O: after the magic comes a table of (section id, byte size)
-//   entries, then the attribute / metric / region-table / event sections.
-//   The event section stores the columnar arrays (times, kinds, ids,
-//   values) as contiguous little-endian blocks, so writing and reading are
-//   a handful of bulk copies instead of per-record stream operations. The
-//   body is covered by an FNV-1a checksum footer computed over 64-bit
-//   lanes, keeping the v2 end-to-end integrity contract at a fraction of
-//   the per-byte hashing cost.
+//   v4 ("OTF2LTv4", current writer) — the alignment-safe section-table
+//   format (see trace/format.hpp for the exact layout). Sections are
+//   zero-padded to 8-byte multiples and the event columns are ordered
+//   widest-first (times, values, ids, kinds), so every column sits on an
+//   8-byte boundary. That lets the zero-copy reader (trace/mapped.hpp)
+//   alias the columns in place inside a memory mapping; this buffered
+//   reader and the mapped one share a single parser, so they accept and
+//   reject files identically. The body is covered by a lane-FNV-1a
+//   checksum footer.
+//
+//   v3 ("OTF2LTv3") — the unpadded section-table format. Still written by
+//   write_trace_v3() for compatibility tooling and read transparently, so
+//   archived traces stay readable.
 //
 //   v2 ("OTF2LTv2", legacy) — per-record little-endian stream with a
-//   byte-wise FNV-1a footer. read_trace() transparently falls back to the
-//   v2 parser, so archived traces stay readable; write_trace_v2() keeps
-//   producing the legacy bytes for compatibility tooling and tests.
+//   byte-wise FNV-1a footer; write_trace_v2() keeps producing the legacy
+//   bytes for compatibility tooling and tests.
 //
-// Both readers fully validate structure AND integrity, so any truncation
+// All readers fully validate structure AND integrity, so any truncation
 // or bit flip — including ones inside numeric payloads that would parse
 // fine — fails loudly instead of producing silent garbage profiles.
 #pragma once
@@ -29,18 +32,23 @@
 
 namespace pwx::trace {
 
-/// Serialize to a binary stream / file (v3 section-table format). Throws
-/// pwx::IoError on failure.
+/// Serialize to a binary stream / file (v4 aligned section-table format).
+/// Throws pwx::IoError on failure.
 void write_trace(const Trace& trace, std::ostream& out);
 void write_trace_file(const Trace& trace, const std::string& path);
+
+/// Serialize in the v3 unpadded section-table format (compatibility writer
+/// for archival tooling and read-compat tests).
+void write_trace_v3(const Trace& trace, std::ostream& out);
 
 /// Serialize in the legacy v2 per-record format (compatibility writer for
 /// archival tooling and read-compat tests).
 void write_trace_v2(const Trace& trace, std::ostream& out);
 
-/// Deserialize v3 or v2 bytes; throws pwx::IoError on malformed, truncated,
-/// or corrupted input. The error carries the byte offset and event-record
-/// index where parsing stopped (IoError::byte_offset / record_index).
+/// Deserialize v4, v3, or v2 bytes; throws pwx::IoError on malformed,
+/// truncated, or corrupted input. The error carries the byte offset and
+/// event-record index where parsing stopped (IoError::byte_offset /
+/// record_index).
 Trace read_trace(std::istream& in);
 Trace read_trace_file(const std::string& path);
 

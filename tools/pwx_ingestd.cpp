@@ -1,0 +1,138 @@
+// pwx-ingestd — incremental trace-ingestion daemon.
+//
+// Watches a directory of OTF2-lite trace files and keeps a merged
+// phase-profile table current as calibration runs land: each poll ingests
+// only new or changed files (zero-copy mapped by default) and republishes
+// the merged table, which is bit-identical to a cold batch over the same
+// files (see trace/incremental.hpp).
+//
+// Usage:
+//   pwx-ingestd <directory> [options]
+//
+//   --once              one poll, print the table, exit (CI / cron mode)
+//   --interval <s>      seconds between polls (default 1.0)
+//   --polls <n>         stop after n polls (default: run until killed)
+//   --no-mmap           ingest through the buffered reader instead
+//   --no-verify         defer checksum verification on the mapped path
+//   --quiet             suppress the per-republish profile table
+//   --metrics           print the obs metric table on exit
+//
+// Exit codes: 0 ok, 1 generic error, 2 usage. Ingestion failures of
+// individual files are not fatal: the daemon reports them on stderr, keeps
+// the file quarantined until it changes, and publishes the rest.
+//
+// Telemetry: ingestd.files_ingested / files_failed / bytes_mapped /
+// bytes_copied / republishes counters and the ingestd.republish_seconds
+// latency histogram, all in the process-wide pwx::obs registry.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "trace/incremental.hpp"
+
+namespace {
+
+using namespace pwx;
+
+void print_profiles(const std::vector<trace::PhaseProfile>& profiles) {
+  TablePrinter table({"workload", "phase", "f [GHz]", "threads", "elapsed [s]",
+                      "avg power [W]", "runs"});
+  for (const trace::PhaseProfile& p : profiles) {
+    table.row({p.workload, p.phase, format_double(p.frequency_ghz, 2),
+               std::to_string(p.threads), format_double(p.elapsed_s, 3),
+               format_double(p.avg_power_watts, 2), std::to_string(p.runs_merged)});
+  }
+  table.print(std::cout);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <directory> [--once] [--interval <s>] [--polls <n>]\n"
+               "       [--no-mmap] [--no-verify] [--quiet] [--metrics]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* directory = nullptr;
+  bool once = false;
+  bool quiet = false;
+  bool metrics = false;
+  double interval_s = 1.0;
+  std::uint64_t max_polls = 0;  // 0: unbounded
+  trace::IncrementalCampaignOptions options;
+  options.campaign.mmap = true;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--no-mmap") == 0) {
+      options.campaign.mmap = false;
+    } else if (std::strcmp(argv[i], "--no-verify") == 0) {
+      options.campaign.verify_checksum = false;
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval_s = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--polls") == 0 && i + 1 < argc) {
+      max_polls = std::strtoull(argv[++i], nullptr, 10);
+    } else if (directory == nullptr && argv[i][0] != '-') {
+      directory = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (directory == nullptr || interval_s < 0) {
+    return usage(argv[0]);
+  }
+
+  obs::set_enabled(true);
+  try {
+    trace::IncrementalCampaign campaign(directory, options);
+    const std::uint64_t polls = once ? 1 : max_polls;
+    for (std::uint64_t i = 0; polls == 0 || i < polls; ++i) {
+      if (i > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+      }
+      if (!campaign.poll()) {
+        continue;
+      }
+      const auto& stats = campaign.stats();
+      std::fprintf(stderr,
+                   "ingestd: poll %llu: %zu files, %zu profiles, "
+                   "%llu ingested, %llu failed, republish %.3f ms\n",
+                   static_cast<unsigned long long>(stats.polls),
+                   campaign.paths().size(), campaign.profiles().size(),
+                   static_cast<unsigned long long>(stats.files_ingested),
+                   static_cast<unsigned long long>(stats.files_failed),
+                   static_cast<double>(stats.last_republish_ns) * 1e-6);
+      for (const auto& [path, error] : campaign.errors()) {
+        std::fprintf(stderr, "ingestd:   quarantined %s: %s\n", path.c_str(),
+                     error.c_str());
+      }
+      if (!quiet) {
+        print_profiles(campaign.profiles());
+      }
+    }
+    if (metrics) {
+      obs::print_table(obs::registry().snapshot(), std::cout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
