@@ -16,11 +16,16 @@
 // Exits non-zero when any contract is violated.
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <vector>
+
+#include <unistd.h>
 
 #include "acquire/campaign.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "core/epoch.hpp"
 #include "core/estimator.hpp"
 #include "core/health.hpp"
 #include "core/selection.hpp"
@@ -28,7 +33,11 @@
 #include "fault/fault.hpp"
 #include "host/faulty_source.hpp"
 #include "host/sim_source.hpp"
+#include "power/ground_truth.hpp"
 #include "repro_common.hpp"
+#include "serve/refresh.hpp"
+#include "trace/plugins.hpp"
+#include "trace/serialize.hpp"
 #include "workloads/registry.hpp"
 
 namespace {
@@ -62,6 +71,49 @@ bool datasets_identical(const acquire::Dataset& a, const acquire::Dataset& b) {
     }
   }
   return true;
+}
+
+/// Record a small calibration corpus for `engine`: one trace per
+/// (workload, frequency, threads) configuration, the standard four-counter
+/// group in each.
+std::vector<std::string> write_refresh_corpus(const sim::Engine& engine,
+                                              const std::filesystem::path& dir,
+                                              std::uint64_t seed) {
+  const std::vector<pmc::Preset> group{pmc::Preset::TOT_CYC, pmc::Preset::TOT_INS,
+                                       pmc::Preset::PRF_DM, pmc::Preset::BR_MSP};
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  std::uint64_t run_seed = seed;
+  for (const char* name : {"compute", "md", "memory_read"}) {
+    const auto workload = workloads::find_workload(name);
+    for (const double frequency_ghz : {1.5, 2.0, 2.4}) {
+      for (const std::size_t threads : {8u, 24u}) {
+        sim::RunConfig rc;
+        rc.frequency_ghz = frequency_ghz;
+        rc.threads = threads;
+        rc.interval_s = 0.25;
+        rc.duration_scale = 0.1;
+        rc.seed = ++run_seed;
+        const trace::Trace t =
+            trace::build_standard_trace(engine.run(*workload, rc), group);
+        paths.push_back(
+            (dir / ("run" + std::to_string(paths.size()) + ".otf2l")).string());
+        trace::write_trace_file(t, paths.back());
+      }
+    }
+  }
+  return paths;
+}
+
+core::PowerModel train_on_corpus(const std::vector<std::string>& paths) {
+  const acquire::Dataset dataset = acquire::ingest_trace_files(paths);
+  core::SelectionOptions selection;
+  selection.count = 3;
+  const core::SelectionResult selected =
+      core::select_events(dataset, dataset.common_presets(), selection);
+  core::FeatureSpec spec;
+  spec.events = selected.selected();
+  return core::train_model(dataset, spec);
 }
 
 }  // namespace
@@ -184,6 +236,81 @@ int main() {
   check(samples > 0, "estimator processed the faulty stream");
   check(all_valid, "every estimate finite and within [0, max_watts]");
   check(degraded > 0, "estimator surfaced DEGRADED/FAILED health under faults");
+
+  // Model refresh under fire: each refresh-path fault kind, forced at
+  // p=1.0, must be caught by the intended gate and leave the serving epoch
+  // on its incumbent publication (rollback = nothing happened); a clean
+  // refresh from a shifted-regime corpus must still publish.
+  std::printf("\nmodel refresh under injected faults:\n");
+  const std::filesystem::path corpus_root =
+      std::filesystem::temp_directory_path() /
+      ("pwx_robustness_refresh_" + std::to_string(::getpid()));
+  const std::vector<std::string> baseline_corpus =
+      write_refresh_corpus(engine, corpus_root / "baseline", 100);
+  // The drifted regime: higher switching energy + extra uncore static draw,
+  // as a firmware/DVFS change would produce.
+  power::EnergyTable energies = power::GroundTruthPower::haswell_ep().energies();
+  energies.per_cycle_nj *= 1.6;
+  energies.per_uop_nj *= 1.6;
+  energies.per_dram_access_nj *= 1.4;
+  power::StaticParameters statics = power::GroundTruthPower::haswell_ep().statics();
+  statics.uncore_static_watts += 12.0;
+  const sim::Engine drifted(cpu::haswell_ep_2690v3(), cpu::haswell_ep_dvfs(),
+                            power::GroundTruthPower(energies, statics,
+                                                    cpu::ThermalModel{}),
+                            power::SensorSpec{}, 0x5eed);
+  const std::vector<std::string> drifted_corpus =
+      write_refresh_corpus(drifted, corpus_root / "drifted", 200);
+
+  const struct {
+    fault::FaultKind kind;
+    serve::RefreshStatus expected;
+  } refresh_faults[] = {
+      {fault::FaultKind::TruncatedCandidate,
+       serve::RefreshStatus::RejectedImplausible},
+      {fault::FaultKind::ValidationTimeout,
+       serve::RefreshStatus::RejectedTimeout},
+      {fault::FaultKind::StaleLayoutPublish,
+       serve::RefreshStatus::RejectedStale},
+  };
+  for (const auto& rf : refresh_faults) {
+    core::LayoutEpoch epoch(train_on_corpus(baseline_corpus));
+    const fault::FaultInjector injector(
+        fault::FaultPlan::single(rf.kind, 1.0, 0xFA17));
+    serve::RefreshConfig refresh_config;
+    refresh_config.trace_paths = drifted_corpus;
+    refresh_config.event_count = 3;
+    refresh_config.injector = &injector;
+    const serve::RefreshReport report =
+        serve::refresh_model(epoch, refresh_config);
+    std::printf("  %s -> %s (%s)\n",
+                std::string(fault::fault_kind_name(rf.kind)).c_str(),
+                std::string(serve::refresh_status_name(report.status)).c_str(),
+                report.detail.c_str());
+    check(report.status == rf.expected,
+          std::string(fault::fault_kind_name(rf.kind)) +
+              " caught by the intended refresh gate");
+    check(epoch.generation() == 1,
+          std::string(fault::fault_kind_name(rf.kind)) +
+              " rollback left the epoch on generation 1");
+  }
+
+  core::LayoutEpoch epoch(train_on_corpus(baseline_corpus));
+  serve::RefreshConfig clean_refresh;
+  clean_refresh.trace_paths = drifted_corpus;
+  clean_refresh.event_count = 3;
+  const serve::RefreshReport published =
+      serve::refresh_model(epoch, clean_refresh);
+  std::printf("  clean refresh -> %s (candidate MAPE %s%%, incumbent %s%%)\n",
+              std::string(serve::refresh_status_name(published.status)).c_str(),
+              format_double(published.candidate_holdout_mape_pct, 2).c_str(),
+              format_double(published.incumbent_holdout_mape_pct, 2).c_str());
+  check(published.published() && epoch.generation() == 2,
+        "fault-free refresh from the drifted corpus published generation 2");
+  check(published.candidate_holdout_mape_pct <
+            published.incumbent_holdout_mape_pct,
+        "retrained candidate beats the stale incumbent on the drifted holdout");
+  std::filesystem::remove_all(corpus_root);
 
   if (violations > 0) {
     std::printf("\n%d robustness contract violation(s)\n", violations);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 
 namespace pwx::acquire {
@@ -233,6 +234,45 @@ DataRow row_from_profile(const trace::PhaseProfile& profile, workloads::Suite su
   row.runs_merged = profile.runs_merged;
   row.counter_rates = profile.counter_rates;
   return row;
+}
+
+HoldoutSplit split_holdout(const Dataset& dataset, double holdout_fraction,
+                           std::uint64_t seed) {
+  PWX_REQUIRE(holdout_fraction > 0.0 && holdout_fraction < 1.0,
+              "holdout fraction must be in (0,1), got ", holdout_fraction);
+  const std::size_t n = dataset.size();
+  // Seeded pseudo-random permutation: key every index through splitmix64 and
+  // sort by key. Ties (astronomically unlikely) break by index, so the order
+  // is total and the split reproducible.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    std::uint64_t sa = seed ^ (0x9E3779B97F4A7C15ull * (a + 1));
+    std::uint64_t sb = seed ^ (0x9E3779B97F4A7C15ull * (b + 1));
+    const std::uint64_t ka = splitmix64(sa);
+    const std::uint64_t kb = splitmix64(sb);
+    return ka != kb ? ka < kb : a < b;
+  });
+  std::size_t holdout_count = static_cast<std::size_t>(
+      std::llround(holdout_fraction * static_cast<double>(n)));
+  if (n >= 2) {
+    holdout_count = std::max<std::size_t>(1, std::min(holdout_count, n - 1));
+  } else {
+    holdout_count = std::min<std::size_t>(holdout_count, n);
+  }
+  std::vector<std::size_t> holdout_idx(order.begin(),
+                                       order.begin() + holdout_count);
+  std::vector<std::size_t> train_idx(order.begin() + holdout_count, order.end());
+  // Keep original row order within each part so downstream grouping stays
+  // stable regardless of the permutation.
+  std::sort(holdout_idx.begin(), holdout_idx.end());
+  std::sort(train_idx.begin(), train_idx.end());
+  HoldoutSplit split;
+  split.train = dataset.select_rows(train_idx);
+  split.holdout = dataset.select_rows(holdout_idx);
+  return split;
 }
 
 SanitizeReport sanitize_dataset(Dataset& dataset, double max_power_watts) {

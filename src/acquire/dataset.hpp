@@ -128,6 +128,21 @@ private:
 /// row's workload family (used by suite filters and train/validate splits).
 DataRow row_from_profile(const trace::PhaseProfile& profile, workloads::Suite suite);
 
+/// Deterministic row-level train/holdout partition.
+struct HoldoutSplit {
+  Dataset train;
+  Dataset holdout;
+};
+
+/// Split `dataset` into train and holdout parts by a seeded pseudo-random
+/// permutation of row indices. `holdout_fraction` in (0,1); when the dataset
+/// has at least two rows, both parts are guaranteed non-empty. The same
+/// (dataset order, fraction, seed) always produces the same split — the
+/// property the serve-refresh validation gate relies on for reproducible
+/// accept/reject decisions.
+HoldoutSplit split_holdout(const Dataset& dataset, double holdout_fraction,
+                           std::uint64_t seed);
+
 /// Remove rows that are non-finite or physically impossible (negative or
 /// implausible power, non-positive voltage/elapsed time, NaN/negative
 /// counter rates) so one poisoned row can never reach a fit. Returns what

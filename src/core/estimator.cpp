@@ -99,39 +99,66 @@ double guarded_estimate_step(const ModelLayout& layout, double smoothing,
 
 OnlineEstimator::OnlineEstimator(PowerModel model, double smoothing,
                                  EstimatorGuards guards)
-    : model_(std::move(model)), layout_(model_), smoothing_(smoothing),
-      guards_(guards), scratch_(layout_.make_sample()) {
+    : current_(std::make_shared<const PublishedModel>(std::move(model), 1)),
+      smoothing_(smoothing), guards_(guards),
+      scratch_(current_->layout.make_sample()) {
   PWX_REQUIRE(smoothing_ >= 0.0 && smoothing_ < 1.0, "smoothing must be in [0,1)");
   PWX_REQUIRE(guards_.min_watts <= guards_.max_watts,
               "estimator guard range is inverted");
+}
+
+OnlineEstimator::OnlineEstimator(std::shared_ptr<LayoutEpoch> epoch,
+                                 double smoothing, EstimatorGuards guards)
+    : epoch_(std::move(epoch)), smoothing_(smoothing), guards_(guards) {
+  PWX_REQUIRE(epoch_ != nullptr, "estimator needs a non-null epoch");
+  PWX_REQUIRE(smoothing_ >= 0.0 && smoothing_ < 1.0, "smoothing must be in [0,1)");
+  PWX_REQUIRE(guards_.min_watts <= guards_.max_watts,
+              "estimator guard range is inverted");
+  current_ = epoch_->current();
+  scratch_ = current_->layout.make_sample();
 }
 
 double OnlineEstimator::smooth(double raw) {
   return smooth_step(smoothing_, raw, state_);
 }
 
+void OnlineEstimator::maybe_adopt() {
+  if (epoch_ != nullptr && epoch_->generation() != current_->generation) {
+    current_ = epoch_->current();
+    scratch_ = current_->layout.make_sample();
+    // GuardedState survives: the held estimate and smoothing accumulator
+    // carry across the swap, so the output stream never drops or restarts.
+  }
+}
+
 double OnlineEstimator::estimate(const CounterSample& sample) {
   PWX_REQUIRE(sample.elapsed_s > 0.0, "sample needs a positive elapsed time");
   PWX_REQUIRE(sample.frequency_ghz > 0.0, "sample needs a frequency");
   PWX_REQUIRE(sample.voltage > 0.0, "sample needs a voltage");
-  layout_.to_dense(sample, scratch_);
-  return smooth(layout_.predict(scratch_));
+  maybe_adopt();
+  current_->layout.to_dense(sample, scratch_);
+  return smooth(current_->layout.predict(scratch_));
 }
 
 double OnlineEstimator::estimate(const DenseSample& sample) {
   PWX_REQUIRE(sample.elapsed_s > 0.0, "sample needs a positive elapsed time");
   PWX_REQUIRE(sample.frequency_ghz > 0.0, "sample needs a frequency");
   PWX_REQUIRE(sample.voltage > 0.0, "sample needs a voltage");
-  return smooth(layout_.predict(sample));
+  maybe_adopt();
+  return smooth(current_->layout.predict(sample));
 }
 
 double OnlineEstimator::estimate_guarded(const CounterSample& sample) {
-  layout_.to_dense_guarded(sample, scratch_);
-  return guarded_estimate_step(layout_, smoothing_, guards_, scratch_, state_);
+  maybe_adopt();
+  current_->layout.to_dense_guarded(sample, scratch_);
+  return guarded_estimate_step(current_->layout, smoothing_, guards_, scratch_,
+                               state_);
 }
 
 double OnlineEstimator::estimate_guarded(const DenseSample& sample) {
-  return guarded_estimate_step(layout_, smoothing_, guards_, sample, state_);
+  maybe_adopt();
+  return guarded_estimate_step(current_->layout, smoothing_, guards_, sample,
+                               state_);
 }
 
 void OnlineEstimator::reset() { state_.reset(); }

@@ -13,6 +13,13 @@
 // once per call, and the model evaluation is a flat coefficient dot product.
 // Callers on the hot path (FleetEstimator, batch ingestion) skip the
 // conversion by passing DenseSamples directly; both paths are bit-identical.
+//
+// The model itself lives in an immutable core::PublishedModel. An estimator
+// constructed from a plain PowerModel is pinned to that model forever; one
+// constructed from a shared core::LayoutEpoch adopts every newly published
+// model at the next estimate call — the adoption check is a single relaxed
+// atomic generation compare, so the estimate path never takes a lock (see
+// core/epoch.hpp for the swap protocol).
 #pragma once
 
 #include <map>
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "core/dense.hpp"
+#include "core/epoch.hpp"
 #include "core/health.hpp"
 #include "core/model.hpp"
 #include "pmc/events.hpp"
@@ -89,9 +97,18 @@ double guarded_estimate_step(const ModelLayout& layout, double smoothing,
 class OnlineEstimator {
 public:
   /// `smoothing` in [0,1): exponential smoothing factor applied to the
-  /// estimate stream (0 = none).
+  /// estimate stream (0 = none). The model is pinned: this estimator never
+  /// changes models.
   explicit OnlineEstimator(PowerModel model, double smoothing = 0.0,
                            EstimatorGuards guards = {});
+
+  /// Epoch-bound estimator: serves the epoch's current publication and
+  /// adopts every later publish() at the next estimate call (lock-free
+  /// generation check per estimate; re-acquisition only on an actual swap).
+  /// Smoothing state and the guarded health machine survive a swap, so the
+  /// estimate stream stays continuous across retrains.
+  explicit OnlineEstimator(std::shared_ptr<LayoutEpoch> epoch,
+                           double smoothing = 0.0, EstimatorGuards guards = {});
 
   /// Estimate power for one sample. Strict: throws InvalidArgument when the
   /// sample is degenerate (non-positive elapsed time, missing events, ...).
@@ -119,13 +136,19 @@ public:
   std::size_t consecutive_invalid() const { return state_.consecutive_invalid; }
 
   /// The model's event requirements (what to pass to CounterSource::start).
+  /// Epoch-bound estimators: valid until the next estimate call adopts a
+  /// newly published model (same caveat for model()/layout()).
   const std::vector<pmc::Preset>& required_events() const {
-    return model_.spec().events;
+    return current_->model.spec().events;
   }
 
-  const PowerModel& model() const { return model_; }
+  const PowerModel& model() const { return current_->model; }
   /// The compiled layout (to build DenseSamples for the dense overloads).
-  const ModelLayout& layout() const { return layout_; }
+  const ModelLayout& layout() const { return current_->layout; }
+  /// The currently served publication (shared ownership: survives swaps).
+  std::shared_ptr<const PublishedModel> publication() const { return current_; }
+  /// Generation of the currently served publication (1 when model-pinned).
+  std::uint64_t generation() const { return current_->generation; }
   const EstimatorGuards& guards() const { return guards_; }
 
   /// Reset the smoothing and degradation state.
@@ -133,9 +156,12 @@ public:
 
 private:
   double smooth(double raw);
+  /// Adopt a newly published model if the bound epoch swapped (one relaxed
+  /// atomic compare when it did not).
+  void maybe_adopt();
 
-  PowerModel model_;
-  ModelLayout layout_;
+  std::shared_ptr<LayoutEpoch> epoch_;             ///< null when model-pinned
+  std::shared_ptr<const PublishedModel> current_;  ///< never null
   double smoothing_;
   EstimatorGuards guards_;
   GuardedState state_;

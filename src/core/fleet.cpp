@@ -23,8 +23,9 @@ std::uint64_t fnv1a(std::string_view s) {
 
 FleetEstimator::FleetEstimator(PowerModel node_model, double smoothing,
                                double staleness_horizon_s, FleetOptions options)
-    : model_(std::move(node_model)), layout_(model_), smoothing_(smoothing),
-      staleness_horizon_s_(staleness_horizon_s), options_(options) {
+    : initial_(std::make_shared<const PublishedModel>(std::move(node_model), 1)),
+      smoothing_(smoothing), staleness_horizon_s_(staleness_horizon_s),
+      options_(options) {
   PWX_REQUIRE(staleness_horizon_s_ > 0.0, "staleness horizon must be positive");
   PWX_REQUIRE(smoothing_ >= 0.0 && smoothing_ < 1.0, "smoothing must be in [0,1)");
   if (options_.shard_count == 0) {
@@ -33,8 +34,43 @@ FleetEstimator::FleetEstimator(PowerModel node_model, double smoothing,
   shards_.reserve(options_.shard_count);
   for (std::size_t s = 0; s < options_.shard_count; ++s) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->pub = initial_;
   }
   hash_slots_.assign(64, 0);
+}
+
+FleetEstimator::FleetEstimator(std::shared_ptr<LayoutEpoch> epoch, double smoothing,
+                               double staleness_horizon_s, FleetOptions options)
+    : epoch_(std::move(epoch)), smoothing_(smoothing),
+      staleness_horizon_s_(staleness_horizon_s), options_(options) {
+  PWX_REQUIRE(epoch_ != nullptr, "fleet needs a non-null epoch");
+  PWX_REQUIRE(staleness_horizon_s_ > 0.0, "staleness horizon must be positive");
+  PWX_REQUIRE(smoothing_ >= 0.0 && smoothing_ < 1.0, "smoothing must be in [0,1)");
+  initial_ = epoch_->current();
+  if (options_.shard_count == 0) {
+    options_.shard_count = 1;
+  }
+  shards_.reserve(options_.shard_count);
+  for (std::size_t s = 0; s < options_.shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->pub = initial_;
+  }
+  hash_slots_.assign(64, 0);
+}
+
+std::shared_ptr<const PublishedModel> FleetEstimator::publication() const {
+  return epoch_ != nullptr ? epoch_->current() : initial_;
+}
+
+std::uint64_t FleetEstimator::generation() const {
+  return epoch_ != nullptr ? epoch_->generation() : initial_->generation;
+}
+
+const PublishedModel& FleetEstimator::acquire_publication(Shard& shard) {
+  if (epoch_ != nullptr && shard.pub->generation != epoch_->generation()) {
+    shard.pub = epoch_->current();
+  }
+  return *shard.pub;
 }
 
 NodeId FleetEstimator::intern(std::string_view node) {
@@ -203,8 +239,8 @@ double FleetEstimator::ingest_locked(Shard& shard, NodeId id,
       was_included && state.guard.health == HealthState::Degraded;
   const double old_estimate = state.last_estimate;
 
-  const double estimate =
-      guarded_estimate_step(layout_, smoothing_, guards_, sample, state.guard);
+  const double estimate = guarded_estimate_step(shard.pub->layout, smoothing_,
+                                                guards_, sample, state.guard);
   state.last_estimate = estimate;
 
   const bool now_included = state.guard.health != HealthState::Failed;
@@ -268,19 +304,68 @@ double FleetEstimator::ingest_locked(Shard& shard, NodeId id,
   return estimate;
 }
 
+double FleetEstimator::ingest_sample_locked(Shard& shard, NodeId id,
+                                            const DenseSample& sample,
+                                            std::uint64_t sample_generation,
+                                            double now_s) {
+  const PublishedModel& pub = acquire_publication(shard);
+  if (sample_generation == 0 || sample_generation == pub.generation) {
+    return ingest_locked(shard, id, sample, now_s);
+  }
+  // Cross-generation sample: it was built against a layout that a hot swap
+  // just replaced. Remap its counts by preset through the layout it was
+  // built against (retained in the epoch's history ring). A publication
+  // already evicted from the ring — or an event the new model needs that the
+  // old layout never carried — yields NaN counts, which the guarded step
+  // absorbs as an invalid sample (held estimate, degraded health): never a
+  // dropped or NaN estimate.
+  const std::shared_ptr<const PublishedModel> src =
+      epoch_ != nullptr ? epoch_->at(sample_generation) : nullptr;
+  DenseSample& out = shard.remap_scratch;
+  out.elapsed_s = sample.elapsed_s;
+  out.frequency_ghz = sample.frequency_ghz;
+  out.voltage = sample.voltage;
+  out.counts.assign(pub.layout.slots(),
+                    std::numeric_limits<double>::quiet_NaN());
+  if (src != nullptr && sample.counts.size() == src->layout.slots()) {
+    for (std::size_t i = 0; i < pub.layout.slots(); ++i) {
+      const std::optional<std::size_t> s =
+          src->layout.slot_of(pub.layout.events()[i]);
+      if (s.has_value()) {
+        out.counts[i] = sample.counts[*s];
+      }
+    }
+  }
+  if (obs::enabled()) {
+    static obs::Counter& remaps = obs::registry().counter(
+        "fleet.remapped_samples",
+        "cross-generation samples remapped onto a newly swapped layout");
+    remaps.add_unguarded(1);
+  }
+  return ingest_locked(shard, id, out, now_s);
+}
+
 double FleetEstimator::ingest(NodeId node, const DenseSample& sample,
                               double now_s) {
   Shard& shard = *shards_[shard_of(node)];
   std::lock_guard lock(shard.mutex);
   PWX_REQUIRE(slot_of(node) < shard.nodes.size(), "unknown node id ", node);
+  acquire_publication(shard);
   return ingest_locked(shard, node, sample, now_s);
 }
 
 double FleetEstimator::ingest(NodeId node, const CounterSample& sample,
                               double now_s) {
   thread_local DenseSample scratch;
-  layout_.to_dense_guarded(sample, scratch);
-  return ingest(node, scratch, now_s);
+  // Convert against the current publication and tag the sample with its
+  // generation, so a swap racing between conversion and ingestion remaps
+  // instead of misreading slots.
+  const std::shared_ptr<const PublishedModel> pub = publication();
+  pub->layout.to_dense_guarded(sample, scratch);
+  Shard& shard = *shards_[shard_of(node)];
+  std::lock_guard lock(shard.mutex);
+  PWX_REQUIRE(slot_of(node) < shard.nodes.size(), "unknown node id ", node);
+  return ingest_sample_locked(shard, node, scratch, pub->generation, now_s);
 }
 
 double FleetEstimator::ingest(const std::string& node, const CounterSample& sample,
@@ -338,7 +423,7 @@ std::size_t FleetEstimator::ingest_batch(std::span<const NodeSample> batch) {
     try {
       for (std::uint32_t k = begin; k < end; ++k) {
         const NodeSample& ns = batch[order[k]];
-        ingest_locked(shard, ns.node, ns.sample, ns.now_s);
+        ingest_sample_locked(shard, ns.node, ns.sample, ns.generation, ns.now_s);
       }
     } catch (...) {
       errors[static_cast<std::size_t>(s)] = std::current_exception();

@@ -43,6 +43,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/epoch.hpp"
 #include "core/estimator.hpp"
 #include "core/model.hpp"
 
@@ -89,14 +90,33 @@ struct NodeSample {
   NodeId node = 0;
   double now_s = 0.0;   ///< fleet time of the reading
   DenseSample sample;   ///< counts in the fleet model's layout order
+  /// Generation of the publication `sample` was built against (from
+  /// publication()->generation). 0 means "the current layout" — the only
+  /// correct value for epoch-less fleets, and what pre-hot-swap callers
+  /// already pass. A non-zero generation lets ingestion remap a sample built
+  /// just before a hot swap onto the new layout instead of rejecting it.
+  std::uint64_t generation = 0;
 };
 
 /// Applies a per-node power model across a fleet of nodes.
 class FleetEstimator {
 public:
   /// `staleness_horizon_s`: a node whose last sample is older than this (in
-  /// fleet time) is excluded from totals and counted as stale.
+  /// fleet time) is excluded from totals and counted as stale. The node
+  /// model is pinned for the fleet's lifetime.
   explicit FleetEstimator(PowerModel node_model, double smoothing = 0.0,
+                          double staleness_horizon_s = 10.0,
+                          FleetOptions options = {});
+
+  /// Epoch-bound fleet: every node serves the epoch's current publication
+  /// and adopts a newly published model at its shard's next ingest — the
+  /// adoption check is one relaxed atomic generation compare under the shard
+  /// mutex the ingest already holds, so hot swaps add no lock to the
+  /// estimate path. Per-node guarded state (held estimates, health,
+  /// smoothing) survives a swap, so no estimate is ever dropped or NaN while
+  /// swaps race concurrent ingestion (pinned by tests/epoch_test.cpp).
+  explicit FleetEstimator(std::shared_ptr<LayoutEpoch> epoch,
+                          double smoothing = 0.0,
                           double staleness_horizon_s = 10.0,
                           FleetOptions options = {});
 
@@ -156,9 +176,17 @@ public:
   /// Registered node names (sorted).
   std::vector<std::string> nodes() const;
 
-  const PowerModel& model() const { return model_; }
-  /// The compiled layout shared by every node (to build DenseSamples).
-  const ModelLayout& layout() const { return layout_; }
+  /// The construction-time model/layout. Stable for the fleet's lifetime
+  /// (the initial publication is retained), but for epoch-bound fleets these
+  /// do NOT follow hot swaps — build samples against publication() instead.
+  const PowerModel& model() const { return initial_->model; }
+  const ModelLayout& layout() const { return initial_->layout; }
+  /// The currently served publication (follows hot swaps; shared ownership).
+  /// Build DenseSamples against its layout and tag NodeSample::generation
+  /// with its generation.
+  std::shared_ptr<const PublishedModel> publication() const;
+  /// Generation currently served (1 and constant for epoch-less fleets).
+  std::uint64_t generation() const;
   const FleetOptions& options() const { return options_; }
 
 private:
@@ -180,6 +208,11 @@ private:
   /// *included* set (ever-reported nodes whose health is not FAILED).
   struct Shard {
     mutable std::mutex mutex;
+    /// Publication this shard currently serves; refreshed (under the shard
+    /// mutex) at the next ingest after the epoch swapped.
+    std::shared_ptr<const PublishedModel> pub;
+    /// Scratch for cross-generation sample remapping (guarded by mutex).
+    DenseSample remap_scratch;
     std::vector<NodeState> nodes;
     std::uint32_t seen_head = kNil;  ///< oldest last_seen_s (never-reported first)
     std::uint32_t seen_tail = kNil;  ///< freshest last_seen_s
@@ -204,6 +237,12 @@ private:
 
   double ingest_locked(Shard& shard, NodeId id, const DenseSample& sample,
                        double now_s);
+  /// Refresh the shard's cached publication when the epoch swapped (caller
+  /// holds the shard mutex); returns the publication to serve with.
+  const PublishedModel& acquire_publication(Shard& shard);
+  /// Ingest one (possibly cross-generation) sample into a locked shard.
+  double ingest_sample_locked(Shard& shard, NodeId id, const DenseSample& sample,
+                              std::uint64_t sample_generation, double now_s);
   void detach_seen(Shard& shard, std::uint32_t slot);
   void attach_seen_sorted(Shard& shard, std::uint32_t slot);
   void repair_minmax(const Shard& shard) const;
@@ -212,8 +251,8 @@ private:
            now_s - state.last_seen_s > staleness_horizon_s_;
   }
 
-  PowerModel model_;
-  ModelLayout layout_;
+  std::shared_ptr<LayoutEpoch> epoch_;             ///< null when model-pinned
+  std::shared_ptr<const PublishedModel> initial_;  ///< construction-time publication
   double smoothing_;
   EstimatorGuards guards_;  ///< per-node guard policy (defaults, as before)
   double staleness_horizon_s_;

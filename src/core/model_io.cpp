@@ -1,8 +1,15 @@
 #include "core/model_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/json.hpp"
@@ -65,13 +72,54 @@ std::string model_to_json(const PowerModel& model) {
 }
 
 void save_model(const PowerModel& model, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw IoError("cannot open '" + path + "' for writing");
+  // Crash-safe save: write to a temp file in the target's directory, fsync
+  // it, then rename() into place. A crash at any point leaves either the old
+  // complete file or the new complete file — never a torn model (rename is
+  // atomic within a filesystem). The partial-write sweep in tests/core_test
+  // pins that any torn byte prefix is rejected by load_model, so atomicity
+  // here is what makes deployed model files trustworthy.
+  const std::string payload = model_to_json(model) + '\n';
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw IoError("cannot open '" + temp + "' for writing: " +
+                  std::strerror(errno));
   }
-  out << model_to_json(model) << '\n';
-  if (!out) {
-    throw IoError("write to '" + path + "' failed");
+  const char* data = payload.data();
+  std::size_t remaining = payload.size();
+  while (remaining > 0) {
+    const ::ssize_t written = ::write(fd, data, remaining);
+    if (written < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string reason = std::strerror(errno);
+      ::close(fd);
+      ::unlink(temp.c_str());
+      throw IoError("write to '" + temp + "' failed: " + reason);
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::unlink(temp.c_str());
+    throw IoError("flush of '" + temp + "' failed: " + reason);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::unlink(temp.c_str());
+    throw IoError("rename of '" + temp + "' to '" + path + "' failed: " + reason);
+  }
+  // Persist the rename itself (directory entry), so a crash right after
+  // save_model returns cannot resurface the old file. Best effort: some
+  // filesystems refuse directory fsync.
+  const std::size_t sep = path.find_last_of('/');
+  const std::string dir = sep == std::string::npos ? "." : path.substr(0, sep + 1);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
   }
 }
 

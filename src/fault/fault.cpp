@@ -56,6 +56,9 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::CorruptTraceByte: return "corrupt_trace_byte";
     case FaultKind::PowerDropout: return "power_dropout";
     case FaultKind::PowerSpike: return "power_spike";
+    case FaultKind::StaleLayoutPublish: return "stale_layout_publish";
+    case FaultKind::TruncatedCandidate: return "truncated_candidate";
+    case FaultKind::ValidationTimeout: return "validation_timeout";
   }
   return "unknown";
 }
@@ -92,6 +95,10 @@ FaultPlan FaultPlan::escalating(std::uint64_t seed, double intensity) {
   // Source-lifecycle faults (per start/read attempt).
   plan.specs.push_back({FaultKind::StartFailure, p(0.2), 1.0, ""});
   plan.specs.push_back({FaultKind::ReadFailure, p(0.05), 1.0, ""});
+  // Model-refresh faults (per refresh attempt).
+  plan.specs.push_back({FaultKind::StaleLayoutPublish, p(0.05), 1.0, ""});
+  plan.specs.push_back({FaultKind::TruncatedCandidate, p(0.05), 1.0, ""});
+  plan.specs.push_back({FaultKind::ValidationTimeout, p(0.05), 1.0, ""});
   return plan;
 }
 

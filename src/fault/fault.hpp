@@ -43,9 +43,13 @@ enum class FaultKind : std::uint8_t {
   // Power-sensor faults.
   PowerDropout,     ///< sensor reports ~0 W for an interval
   PowerSpike,       ///< sensor reports a wild spike for an interval
+  // Model-refresh faults (the serve retrain/publish pipeline).
+  StaleLayoutPublish,  ///< refresher publishes against an outdated generation
+  TruncatedCandidate,  ///< candidate model loses trailing coefficients
+  ValidationTimeout,   ///< validation gate exceeds its watchdog deadline
 };
 
-inline constexpr std::size_t kFaultKindCount = 13;
+inline constexpr std::size_t kFaultKindCount = 16;
 
 /// Stable short name ("drop_sample", "power_spike", ...).
 std::string_view fault_kind_name(FaultKind kind);

@@ -120,6 +120,17 @@ const MetricValue* MetricsSnapshot::find(std::string_view name) const {
   return nullptr;
 }
 
+MetricsSnapshot MetricsSnapshot::filtered(std::string_view prefix) const {
+  MetricsSnapshot out;
+  for (const MetricValue& value : values) {
+    if (value.name.size() >= prefix.size() &&
+        std::string_view(value.name).substr(0, prefix.size()) == prefix) {
+      out.values.push_back(value);
+    }
+  }
+  return out;
+}
+
 MetricRegistry::Entry& MetricRegistry::entry(std::string_view name, MetricKind kind,
                                              std::string_view help) {
   PWX_REQUIRE(!name.empty(), "metric name must not be empty");

@@ -140,6 +140,11 @@ struct MetricsSnapshot {
 
   /// Lookup by exact name; nullptr when absent.
   const MetricValue* find(std::string_view name) const;
+
+  /// Snapshot restricted to metrics whose name starts with `prefix`
+  /// (e.g. "serve." for the self-healing lifecycle counters). Order is
+  /// preserved, so the result stays name-sorted and deterministic.
+  MetricsSnapshot filtered(std::string_view prefix) const;
 };
 
 /// Thread-safe name -> metric registry. Handles returned by counter()/

@@ -1,0 +1,262 @@
+#include "serve/refresh.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <utility>
+
+#include "core/model.hpp"
+#include "core/model_io.hpp"
+#include "core/selection.hpp"
+#include "obs/metrics.hpp"
+#include "stats/metrics.hpp"
+
+namespace pwx::serve {
+
+namespace {
+
+struct RefreshMetrics {
+  obs::Counter& attempts = obs::registry().counter(
+      "serve.refresh_attempts", "model refresh pipelines started");
+  obs::Counter& published = obs::registry().counter(
+      "serve.refresh_published", "candidate models published");
+  obs::Counter& rejected_implausible = obs::registry().counter(
+      "serve.refresh_rejected_implausible",
+      "candidates rejected by the plausibility gate");
+  obs::Counter& rejected_validation = obs::registry().counter(
+      "serve.refresh_rejected_validation",
+      "candidates rejected by the holdout-MAPE gate");
+  obs::Counter& rejected_timeout = obs::registry().counter(
+      "serve.refresh_rejected_timeout", "validation watchdog expiries");
+  obs::Counter& rejected_stale = obs::registry().counter(
+      "serve.refresh_rejected_stale",
+      "publishes refused because the epoch moved on");
+  obs::Counter& failed = obs::registry().counter(
+      "serve.refresh_failed", "refresh pipelines that errored before a gate");
+  obs::Gauge& candidate_mape = obs::registry().gauge(
+      "serve.candidate_mape_pct", "last candidate's holdout MAPE");
+  obs::Gauge& incumbent_mape = obs::registry().gauge(
+      "serve.incumbent_mape_pct", "incumbent's holdout MAPE at last refresh");
+  obs::Histogram& seconds = obs::registry().histogram(
+      "serve.refresh_seconds", {}, "refresh pipeline wall time");
+};
+
+RefreshMetrics& refresh_metrics() {
+  static RefreshMetrics metrics;
+  return metrics;
+}
+
+void count_exit(RefreshStatus status) {
+  if (!obs::enabled()) {
+    return;
+  }
+  RefreshMetrics& metrics = refresh_metrics();
+  switch (status) {
+    case RefreshStatus::Published: metrics.published.add_unguarded(); break;
+    case RefreshStatus::RejectedImplausible:
+      metrics.rejected_implausible.add_unguarded();
+      break;
+    case RefreshStatus::RejectedValidation:
+      metrics.rejected_validation.add_unguarded();
+      break;
+    case RefreshStatus::RejectedTimeout:
+      metrics.rejected_timeout.add_unguarded();
+      break;
+    case RefreshStatus::RejectedStale:
+      metrics.rejected_stale.add_unguarded();
+      break;
+    case RefreshStatus::Failed: metrics.failed.add_unguarded(); break;
+  }
+}
+
+/// True when every prediction is finite (the holdout plausibility probe).
+bool finite_predictions(const std::vector<double>& predicted) {
+  for (const double p : predicted) {
+    if (!std::isfinite(p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view refresh_status_name(RefreshStatus status) {
+  switch (status) {
+    case RefreshStatus::Published: return "published";
+    case RefreshStatus::RejectedImplausible: return "rejected_implausible";
+    case RefreshStatus::RejectedValidation: return "rejected_validation";
+    case RefreshStatus::RejectedTimeout: return "rejected_timeout";
+    case RefreshStatus::RejectedStale: return "rejected_stale";
+    case RefreshStatus::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+RefreshReport refresh_model(core::LayoutEpoch& epoch,
+                            const RefreshConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  refresh_metrics().attempts.add();
+
+  RefreshReport report;
+  report.incumbent_generation = epoch.generation();
+  const std::shared_ptr<const core::PublishedModel> incumbent = epoch.current();
+
+  const auto finish = [&](RefreshStatus status,
+                          std::string detail) -> RefreshReport {
+    report.status = status;
+    report.detail = std::move(detail);
+    report.elapsed_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    count_exit(status);
+    if (obs::enabled()) {
+      refresh_metrics().seconds.observe(report.elapsed_s);
+    }
+    return report;
+  };
+
+  // --- Re-ingest the corpus and fit a candidate. Any throw here is a
+  // pipeline failure, not a gate decision.
+  core::PowerModel candidate;
+  acquire::HoldoutSplit split;
+  try {
+    if (config.trace_paths.empty()) {
+      return finish(RefreshStatus::Failed, "no trace files configured");
+    }
+    acquire::Dataset dataset =
+        acquire::ingest_trace_files(config.trace_paths, config.ingest);
+    report.dataset_rows = dataset.size();
+    if (dataset.size() < 8) {
+      return finish(RefreshStatus::Failed,
+                    "retraining corpus too small: " +
+                        std::to_string(dataset.size()) + " rows");
+    }
+    split = acquire::split_holdout(dataset, config.holdout_fraction,
+                                   config.holdout_seed);
+    report.holdout_rows = split.holdout.size();
+
+    core::SelectionOptions selection;
+    selection.count = config.event_count;
+    selection.max_mean_vif = config.max_mean_vif;
+    const core::SelectionResult selected =
+        core::select_events(split.train, dataset.common_presets(), selection);
+    report.selected_events = selected.selected();
+
+    core::FeatureSpec spec;
+    spec.events = report.selected_events;
+    candidate = core::train_model(split.train, spec);
+    report.candidate_r_squared = candidate.fit().r_squared;
+  } catch (const std::exception& e) {
+    return finish(RefreshStatus::Failed,
+                  std::string("retrain pipeline error: ") + e.what());
+  }
+
+  // --- Fault hook: the candidate loses trailing coefficients between fit
+  // and gate (a torn hand-off). The plausibility gate must catch it.
+  if (config.injector != nullptr &&
+      config.injector->fires(fault::FaultKind::TruncatedCandidate,
+                             config.fault_site, config.attempt) &&
+      !candidate.fit().beta.empty()) {
+    regress::OlsResult torn = candidate.fit();
+    torn.beta.pop_back();
+    if (!torn.standard_error.empty()) {
+      torn.standard_error.pop_back();
+    }
+    candidate = core::PowerModel(candidate.spec(), std::move(torn));
+  }
+
+  // --- Gate 1: plausibility. The candidate must survive the exact checks a
+  // model file must pass (JSON round-trip re-validates coefficient counts
+  // and finiteness) and must predict finite power on the holdout.
+  std::vector<double> candidate_predicted;
+  try {
+    (void)core::model_from_json(core::model_to_json(candidate));
+    candidate_predicted = candidate.predict(split.holdout);
+  } catch (const std::exception& e) {
+    return finish(RefreshStatus::RejectedImplausible,
+                  std::string("plausibility gate: ") + e.what());
+  }
+  if (!finite_predictions(candidate_predicted)) {
+    return finish(RefreshStatus::RejectedImplausible,
+                  "plausibility gate: non-finite holdout prediction");
+  }
+
+  // --- Gate 2: validation against the incumbent on the same holdout.
+  try {
+    const std::vector<double> actual = split.holdout.power();
+    report.candidate_holdout_mape_pct = stats::mape(actual, candidate_predicted);
+    if (obs::enabled()) {
+      refresh_metrics().candidate_mape.set_unguarded(
+          report.candidate_holdout_mape_pct);
+    }
+    // The incumbent may require events the new corpus never recorded; then
+    // it cannot be scored and only the absolute ceiling applies.
+    double incumbent_mape = std::numeric_limits<double>::infinity();
+    try {
+      const std::vector<double> incumbent_predicted =
+          incumbent->model.predict(split.holdout);
+      incumbent_mape = stats::mape(actual, incumbent_predicted);
+    } catch (const std::exception&) {
+    }
+    report.incumbent_holdout_mape_pct = incumbent_mape;
+    if (obs::enabled() && std::isfinite(incumbent_mape)) {
+      refresh_metrics().incumbent_mape.set_unguarded(incumbent_mape);
+    }
+
+    const double validation_elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const bool watchdog_fired =
+        validation_elapsed_s > config.validation_deadline_s ||
+        (config.injector != nullptr &&
+         config.injector->fires(fault::FaultKind::ValidationTimeout,
+                                config.fault_site, config.attempt));
+    if (watchdog_fired) {
+      return finish(RefreshStatus::RejectedTimeout,
+                    "validation watchdog expired");
+    }
+
+    if (report.candidate_holdout_mape_pct > config.max_holdout_mape_pct) {
+      return finish(RefreshStatus::RejectedValidation,
+                    "holdout MAPE " +
+                        std::to_string(report.candidate_holdout_mape_pct) +
+                        "% exceeds ceiling " +
+                        std::to_string(config.max_holdout_mape_pct) + "%");
+    }
+    if (std::isfinite(incumbent_mape) &&
+        report.candidate_holdout_mape_pct >
+            incumbent_mape + config.max_mape_regression_pct) {
+      return finish(RefreshStatus::RejectedValidation,
+                    "holdout MAPE " +
+                        std::to_string(report.candidate_holdout_mape_pct) +
+                        "% regresses past incumbent " +
+                        std::to_string(incumbent_mape) + "% + margin");
+    }
+  } catch (const std::exception& e) {
+    return finish(RefreshStatus::Failed,
+                  std::string("validation gate error: ") + e.what());
+  }
+
+  // --- Publish through the generation guard. A fault here models the
+  // classic slow-retrainer race: publishing against a generation the
+  // refresher never actually observed.
+  std::uint64_t expected = report.incumbent_generation;
+  if (config.injector != nullptr &&
+      config.injector->fires(fault::FaultKind::StaleLayoutPublish,
+                             config.fault_site, config.attempt)) {
+    expected = expected > 1 ? expected - 1 : expected + 1;
+  }
+  const std::optional<std::uint64_t> published =
+      epoch.try_publish(std::move(candidate), expected);
+  if (!published) {
+    return finish(RefreshStatus::RejectedStale,
+                  "epoch generation moved past " + std::to_string(expected));
+  }
+  report.published_generation = *published;
+  return finish(RefreshStatus::Published,
+                "published generation " + std::to_string(*published));
+}
+
+}  // namespace pwx::serve

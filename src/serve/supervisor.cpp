@@ -1,0 +1,87 @@
+#include "serve/supervisor.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace pwx::serve {
+
+namespace {
+
+struct SupervisorMetrics {
+  obs::Counter& refreshes = obs::registry().counter(
+      "serve.supervisor_refreshes", "retrains launched by drift triggers");
+  obs::Counter& publishes = obs::registry().counter(
+      "serve.supervisor_publishes", "drift-triggered retrains that published");
+  obs::Counter& suppressed = obs::registry().counter(
+      "serve.supervisor_suppressed",
+      "retrains suppressed by the consecutive-reject backoff");
+  obs::Gauge& generation = obs::registry().gauge(
+      "serve.generation", "model generation currently served");
+};
+
+SupervisorMetrics& supervisor_metrics() {
+  static SupervisorMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+Supervisor::Supervisor(std::shared_ptr<core::LayoutEpoch> epoch,
+                       SupervisorConfig config)
+    : epoch_(std::move(epoch)),
+      config_(std::move(config)),
+      monitor_(config_.drift) {
+  PWX_REQUIRE(epoch_ != nullptr, "supervisor needs a layout epoch");
+  supervisor_metrics().generation.set(
+      static_cast<double>(epoch_->generation()));
+}
+
+std::optional<RefreshReport> Supervisor::observe(double estimate_watts,
+                                                 double reference_watts) {
+  monitor_.observe(estimate_watts, reference_watts);
+  return maybe_refresh();
+}
+
+void Supervisor::observe_health(bool invalid, bool clamped) {
+  monitor_.observe_health(invalid, clamped);
+}
+
+std::optional<RefreshReport> Supervisor::maybe_refresh() {
+  if (!monitor_.retrain_due()) {
+    return std::nullopt;
+  }
+  if (consecutive_rejects_ >= config_.max_consecutive_rejects) {
+    // The trigger stays raised but no retrain launches: a corpus that keeps
+    // producing rejected candidates must not melt into a refresh hot loop.
+    supervisor_metrics().suppressed.add();
+    monitor_.acknowledge();
+    return std::nullopt;
+  }
+  RefreshReport report = refresh_now();
+  monitor_.acknowledge();
+  return report;
+}
+
+RefreshReport Supervisor::refresh_now() {
+  RefreshConfig refresh = config_.refresh;
+  refresh.attempt = refreshes_run_;
+  ++refreshes_run_;
+  supervisor_metrics().refreshes.add();
+
+  RefreshReport report = refresh_model(*epoch_, refresh);
+  if (report.published()) {
+    ++refreshes_published_;
+    consecutive_rejects_ = 0;
+    SupervisorMetrics& metrics = supervisor_metrics();
+    metrics.publishes.add();
+    metrics.generation.set(static_cast<double>(report.published_generation));
+  } else {
+    ++consecutive_rejects_;
+  }
+  history_.push_back(report);
+  return report;
+}
+
+}  // namespace pwx::serve

@@ -1,0 +1,88 @@
+// The self-healing loop: drift detection wired to guarded retraining.
+//
+// A Supervisor owns one DriftMonitor and the RefreshConfig for one model
+// stream. The serving loop feeds it every (estimate, reference) pair — and,
+// for reference-free deployments, the guarded-path health flags. When the
+// monitor raises a retrain trigger the supervisor runs refresh_model()
+// against the shared core::LayoutEpoch, acknowledges the trigger (starting
+// the rearm grace period), and hands the RefreshReport back to the caller.
+// Live estimators bound to the same epoch adopt a published candidate at
+// their next estimate; a rejected candidate changes nothing — that is the
+// whole rollback story.
+//
+// The supervisor is synchronous and single-threaded by design: retraining
+// happens on the observation thread that noticed the drift. Deployments that
+// cannot stall the serving loop run observe() on a sampled shadow stream
+// (pwx-ingestd's --refresh mode does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/epoch.hpp"
+#include "serve/drift.hpp"
+#include "serve/refresh.hpp"
+
+namespace pwx::serve {
+
+/// Drift thresholds plus the retrain pipeline parameters.
+struct SupervisorConfig {
+  DriftConfig drift;
+  RefreshConfig refresh;
+  /// Consecutive failed/rejected refreshes tolerated; once exhausted the
+  /// supervisor stops launching retrains (a broken corpus must not turn the
+  /// drift trigger into a hot loop) until reset_backoff() or a publish.
+  std::size_t max_consecutive_rejects = 3;
+};
+
+/// Wires one estimate stream's drift monitor to the retrain pipeline.
+class Supervisor {
+public:
+  Supervisor(std::shared_ptr<core::LayoutEpoch> epoch, SupervisorConfig config);
+
+  /// Feed one paired serving observation. When this observation closes a
+  /// breaching window that completes the trigger streak, the retrain
+  /// pipeline runs synchronously and its report is returned.
+  std::optional<RefreshReport> observe(double estimate_watts,
+                                       double reference_watts);
+
+  /// Feed one guarded-path health observation (reference-free drift).
+  void observe_health(bool invalid, bool clamped);
+
+  /// Run the refresh pipeline now, regardless of drift state (operator
+  /// override; also used by tests).
+  RefreshReport refresh_now();
+
+  /// Re-allow retrains after max_consecutive_rejects exhausted the budget.
+  void reset_backoff() { consecutive_rejects_ = 0; }
+
+  /// Replace the retraining corpus (a live daemon's trace directory grows;
+  /// a refresh should always re-read what is on disk right now).
+  void set_refresh_corpus(std::vector<std::string> trace_paths) {
+    config_.refresh.trace_paths = std::move(trace_paths);
+  }
+
+  const DriftMonitor& monitor() const { return monitor_; }
+  const SupervisorConfig& config() const { return config_; }
+  const std::shared_ptr<core::LayoutEpoch>& epoch() const { return epoch_; }
+  std::uint64_t refreshes_run() const { return refreshes_run_; }
+  std::uint64_t refreshes_published() const { return refreshes_published_; }
+  std::size_t consecutive_rejects() const { return consecutive_rejects_; }
+  /// Reports of every refresh this supervisor ran, in order (provenance).
+  const std::vector<RefreshReport>& history() const { return history_; }
+
+private:
+  std::optional<RefreshReport> maybe_refresh();
+
+  std::shared_ptr<core::LayoutEpoch> epoch_;
+  SupervisorConfig config_;
+  DriftMonitor monitor_;
+  std::uint64_t refreshes_run_ = 0;
+  std::uint64_t refreshes_published_ = 0;
+  std::size_t consecutive_rejects_ = 0;
+  std::vector<RefreshReport> history_;
+};
+
+}  // namespace pwx::serve

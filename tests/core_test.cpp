@@ -5,8 +5,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <filesystem>
+
+#include <unistd.h>
 
 #include "acquire/campaign.hpp"
 #include "common/error.hpp"
@@ -432,6 +435,47 @@ TEST(ModelIo, FileRoundTrip) {
   const PowerModel loaded = load_model(path);
   EXPECT_NEAR(loaded.delta_z(), original.delta_z(), 1e-12);
   std::remove(path.c_str());
+}
+
+TEST(ModelIo, SaveIsAtomicAgainstPartialWrites) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("pwx_model_atomic_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "model.json").string();
+  const Dataset ds = exact_dataset(64, 0.3);
+  const PowerModel original = train_model(ds, exact_spec());
+  save_model(original, path);
+
+  // The partial-write sweep: a torn file — any strict prefix of the payload,
+  // as a crash mid-write would leave — must be rejected by load_model. This
+  // is why save_model writes a temp file and rename()s: the target path can
+  // only ever hold a complete payload.
+  const std::string payload = model_to_json(original) + "\n";
+  const std::string torn_path = (dir / "torn.json").string();
+  for (const std::size_t len :
+       {std::size_t{1}, payload.size() / 4, payload.size() / 2,
+        payload.size() - 2}) {
+    std::ofstream torn(torn_path, std::ios::trunc);
+    torn.write(payload.data(), static_cast<std::streamsize>(len));
+    torn.close();
+    EXPECT_THROW(load_model(torn_path), IoError) << "prefix length " << len;
+  }
+
+  // Overwriting an existing model replaces it completely and leaves no temp
+  // file behind on success.
+  save_model(original, path);
+  const PowerModel loaded = load_model(path);
+  EXPECT_NEAR(loaded.delta_z(), original.delta_z(), 1e-12);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << entry.path();
+  }
+
+  // Failure before the rename leaves the previous file untouched: saving to
+  // a directory path must throw without clobbering anything.
+  EXPECT_THROW(save_model(original, dir.string()), IoError);
+  EXPECT_NO_THROW(load_model(path));
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ModelIo, MalformedInputRejected) {

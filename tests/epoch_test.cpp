@@ -1,0 +1,468 @@
+// Epoch-based model hot-swap: LayoutEpoch publication semantics, estimator
+// and fleet adoption, cross-generation sample remapping, and the
+// multi-threaded soak proving that readers never drop an estimate or emit
+// NaN while hot swaps race concurrent ingestion.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "acquire/dataset.hpp"
+#include "common/rng.hpp"
+#include "core/epoch.hpp"
+#include "core/estimator.hpp"
+#include "core/fleet.hpp"
+#include "core/model.hpp"
+
+namespace pwx::core {
+namespace {
+
+using acquire::DataRow;
+using acquire::Dataset;
+
+const std::vector<pmc::Preset> kEventsA{pmc::Preset::PRF_DM, pmc::Preset::TOT_CYC,
+                                        pmc::Preset::BR_MSP};
+const std::vector<pmc::Preset> kEventsB{pmc::Preset::TOT_CYC, pmc::Preset::BR_MSP};
+const std::vector<pmc::Preset> kEventsC{pmc::Preset::TOT_CYC, pmc::Preset::TOT_INS};
+const std::vector<pmc::Preset> kAllEvents{pmc::Preset::PRF_DM, pmc::Preset::TOT_CYC,
+                                          pmc::Preset::BR_MSP, pmc::Preset::TOT_INS};
+
+/// Synthetic Eq.1-representable model over the given events (fleet_test's
+/// generator, parameterized so different generations are genuinely
+/// different models).
+PowerModel make_model(const std::vector<pmc::Preset>& events, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> coeffs;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    coeffs.push_back(rng.uniform(3.0, 25.0));
+  }
+  Dataset ds;
+  for (std::size_t i = 0; i < 150; ++i) {
+    DataRow row;
+    row.workload = "w" + std::to_string(i % 6);
+    row.phase = "main";
+    row.frequency_ghz = 1.2 + 0.35 * static_cast<double>(i % 5);
+    row.avg_voltage = 0.75 + 0.1 * static_cast<double>(i % 4);
+    const double v2f = row.avg_voltage * row.avg_voltage * row.frequency_ghz;
+    double power = 8.0 * v2f + 12.0 * row.avg_voltage + 6.0;
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      const double rate = rng.uniform(0.1, 3.0);
+      row.counter_rates[events[e]] = rate * row.frequency_ghz * 1e9;
+      power += coeffs[e] * rate * v2f;
+    }
+    row.avg_power_watts = power + rng.normal(0.0, 0.3);
+    row.elapsed_s = 1.0;
+    ds.append(row);
+  }
+  FeatureSpec spec;
+  spec.events = events;
+  return train_model(ds, spec);
+}
+
+/// A valid sample carrying every event any test model uses.
+CounterSample union_sample(Rng& rng) {
+  CounterSample sample;
+  sample.elapsed_s = rng.uniform(0.05, 2.0);
+  sample.frequency_ghz = rng.uniform(1.0, 3.5);
+  sample.voltage = rng.uniform(0.7, 1.2);
+  for (pmc::Preset p : kAllEvents) {
+    sample.counts[p] = rng.uniform(0.0, 5e9);
+  }
+  return sample;
+}
+
+// --------------------------------------------------------- epoch semantics
+
+TEST(LayoutEpoch, ConstructionPublishesGenerationOne) {
+  LayoutEpoch epoch(make_model(kEventsA, 1));
+  EXPECT_EQ(epoch.generation(), 1u);
+  EXPECT_EQ(epoch.swap_count(), 0u);
+  ASSERT_NE(epoch.current(), nullptr);
+  EXPECT_EQ(epoch.current()->generation, 1u);
+  EXPECT_EQ(epoch.current()->model.spec().events, kEventsA);
+}
+
+TEST(LayoutEpoch, PublishAdvancesGenerationAndRetainsHistory) {
+  LayoutEpoch epoch(make_model(kEventsA, 1));
+  const auto gen1 = epoch.current();
+  EXPECT_EQ(epoch.publish(make_model(kEventsB, 2)), 2u);
+  EXPECT_EQ(epoch.generation(), 2u);
+  EXPECT_EQ(epoch.swap_count(), 1u);
+  // Both generations stay reachable; the old publication stays usable.
+  ASSERT_NE(epoch.at(1), nullptr);
+  EXPECT_EQ(epoch.at(1), gen1);
+  ASSERT_NE(epoch.at(2), nullptr);
+  EXPECT_EQ(epoch.at(2), epoch.current());
+  EXPECT_EQ(epoch.at(3), nullptr);
+  EXPECT_EQ(epoch.at(0), nullptr);
+  EXPECT_EQ(gen1->model.spec().events, kEventsA);
+}
+
+TEST(LayoutEpoch, HistoryRingEvictsOldGenerations) {
+  LayoutEpoch epoch(make_model(kEventsA, 1));
+  for (std::uint64_t i = 0; i < LayoutEpoch::kHistory + 1; ++i) {
+    epoch.publish(make_model(i % 2 == 0 ? kEventsB : kEventsA, 10 + i));
+  }
+  const std::uint64_t latest = epoch.generation();
+  EXPECT_EQ(latest, LayoutEpoch::kHistory + 2);
+  EXPECT_EQ(epoch.at(1), nullptr);  // evicted
+  for (std::uint64_t g = latest - LayoutEpoch::kHistory + 1; g <= latest; ++g) {
+    ASSERT_NE(epoch.at(g), nullptr) << "generation " << g;
+    EXPECT_EQ(epoch.at(g)->generation, g);
+  }
+}
+
+TEST(LayoutEpoch, TryPublishRejectsStaleExpectation) {
+  LayoutEpoch epoch(make_model(kEventsA, 1));
+  // A slower retrainer observed generation 1, but another publish landed.
+  epoch.publish(make_model(kEventsB, 2));
+  const auto rejected = epoch.try_publish(make_model(kEventsA, 3), 1);
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_EQ(epoch.generation(), 2u);  // nothing was published
+  EXPECT_EQ(epoch.current()->model.spec().events, kEventsB);
+
+  const auto accepted = epoch.try_publish(make_model(kEventsA, 3), 2);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(*accepted, 3u);
+  EXPECT_EQ(epoch.generation(), 3u);
+}
+
+// ----------------------------------------------------- estimator adoption
+
+TEST(EpochEstimator, AdoptsPublishedModelOnNextEstimate) {
+  auto epoch = std::make_shared<LayoutEpoch>(make_model(kEventsA, 1));
+  OnlineEstimator serving(epoch);
+  PowerModel model_b = make_model(kEventsB, 2);
+  OnlineEstimator pinned_a(make_model(kEventsA, 1));
+  OnlineEstimator pinned_b(model_b);
+
+  Rng rng(7);
+  const CounterSample sample = union_sample(rng);
+  EXPECT_DOUBLE_EQ(serving.estimate(sample), pinned_a.estimate(sample));
+  EXPECT_EQ(serving.generation(), 1u);
+
+  epoch->publish(model_b);
+  // Adoption happens on the next call, lock-free; the result must be
+  // bit-identical to an estimator that always had model B.
+  EXPECT_DOUBLE_EQ(serving.estimate(sample), pinned_b.estimate(sample));
+  EXPECT_EQ(serving.generation(), 2u);
+  EXPECT_EQ(serving.required_events(), kEventsB);
+}
+
+TEST(EpochEstimator, PinnedEstimatorNeverAdopts) {
+  auto epoch = std::make_shared<LayoutEpoch>(make_model(kEventsA, 1));
+  OnlineEstimator pinned(make_model(kEventsA, 1));
+  Rng rng(8);
+  const CounterSample sample = union_sample(rng);
+  const double before = pinned.estimate(sample);
+  epoch->publish(make_model(kEventsB, 2));
+  EXPECT_DOUBLE_EQ(pinned.estimate(sample), before);
+  EXPECT_EQ(pinned.generation(), 1u);
+}
+
+TEST(EpochEstimator, GuardedStateSurvivesSwap) {
+  auto epoch = std::make_shared<LayoutEpoch>(make_model(kEventsA, 1));
+  OnlineEstimator serving(epoch);
+  Rng rng(9);
+  const CounterSample good = union_sample(rng);
+  const double held = serving.estimate_guarded(good);
+  EXPECT_EQ(serving.health(), HealthState::Ok);
+
+  CounterSample bad = good;
+  bad.elapsed_s = 0.0;
+  EXPECT_DOUBLE_EQ(serving.estimate_guarded(bad), held);
+  EXPECT_EQ(serving.health(), HealthState::Degraded);
+
+  // The swap must not reset the degradation bookkeeping: the stream is
+  // continuous even though the model changed.
+  epoch->publish(make_model(kEventsB, 2));
+  EXPECT_DOUBLE_EQ(serving.estimate_guarded(bad), held);
+  EXPECT_EQ(serving.health(), HealthState::Degraded);
+  EXPECT_EQ(serving.consecutive_invalid(), 2u);
+  EXPECT_EQ(serving.generation(), 2u);
+
+  // A good sample on the new model restores OK.
+  const double recovered = serving.estimate_guarded(good);
+  EXPECT_TRUE(std::isfinite(recovered));
+  EXPECT_EQ(serving.health(), HealthState::Ok);
+}
+
+// --------------------------------------------------------- fleet adoption
+
+TEST(EpochFleet, ShardsAdoptPublishedModel) {
+  auto epoch = std::make_shared<LayoutEpoch>(make_model(kEventsA, 1));
+  PowerModel model_b = make_model(kEventsB, 2);
+  FleetEstimator fleet(epoch);
+  FleetEstimator pinned_b(model_b);
+  const NodeId node = fleet.intern("node-0");
+  const NodeId node_b = pinned_b.intern("node-0");
+
+  Rng rng(11);
+  const CounterSample sample = union_sample(rng);
+  fleet.ingest(node, sample, 1.0);
+  EXPECT_EQ(fleet.generation(), 1u);
+
+  epoch->publish(model_b);
+  EXPECT_EQ(fleet.generation(), 2u);  // publication() follows the epoch
+  const double swapped = fleet.ingest(node, sample, 2.0);
+  const double expected = pinned_b.ingest(node_b, sample, 2.0);
+  EXPECT_DOUBLE_EQ(swapped, expected);
+}
+
+TEST(EpochFleet, RemapsCrossGenerationDenseSamples) {
+  auto epoch = std::make_shared<LayoutEpoch>(make_model(kEventsA, 1));
+  PowerModel model_b = make_model(kEventsB, 2);  // kEventsB subset of kEventsA
+  FleetEstimator fleet(epoch);
+  FleetEstimator pinned_b(model_b);
+  const NodeId node = fleet.intern("node-0");
+  const NodeId node_b = pinned_b.intern("node-0");
+
+  Rng rng(12);
+  const CounterSample map_sample = union_sample(rng);
+  // The sample was built against generation 1's layout just before the swap.
+  NodeSample in_flight;
+  in_flight.node = node;
+  in_flight.now_s = 1.0;
+  in_flight.sample = epoch->current()->layout.to_dense(map_sample);
+  in_flight.generation = 1;
+
+  epoch->publish(model_b);
+  ASSERT_EQ(fleet.ingest_batch({&in_flight, 1}), 1u);
+
+  // Remapping must land exactly where converting the original map sample
+  // against model B would: kEventsB's counts all exist in the old layout.
+  const double expected = pinned_b.ingest(node_b, map_sample, 1.0);
+  EXPECT_DOUBLE_EQ(*fleet.node_estimate(node), expected);
+  EXPECT_EQ(*fleet.node_health(node), HealthState::Ok);
+}
+
+TEST(EpochFleet, RemapWithMissingEventDegradesInsteadOfNaN) {
+  auto epoch = std::make_shared<LayoutEpoch>(make_model(kEventsA, 1));
+  FleetEstimator fleet(epoch);
+  const NodeId node = fleet.intern("node-0");
+
+  Rng rng(13);
+  const CounterSample map_sample = union_sample(rng);
+  const double good = fleet.ingest(node, map_sample, 1.0);
+  EXPECT_TRUE(std::isfinite(good));
+
+  NodeSample in_flight;
+  in_flight.node = node;
+  in_flight.now_s = 2.0;
+  in_flight.sample = epoch->current()->layout.to_dense(map_sample);
+  in_flight.generation = 1;
+
+  // kEventsC needs TOT_INS, which generation 1's layout never recorded: the
+  // remap cannot fill that slot and the guarded path must hold, not NaN.
+  epoch->publish(make_model(kEventsC, 3));
+  ASSERT_EQ(fleet.ingest_batch({&in_flight, 1}), 1u);
+  ASSERT_TRUE(fleet.node_estimate(node).has_value());
+  EXPECT_DOUBLE_EQ(*fleet.node_estimate(node), good);  // held estimate
+  EXPECT_EQ(*fleet.node_health(node), HealthState::Degraded);
+}
+
+TEST(EpochFleet, EvictedGenerationSampleDegradesInsteadOfNaN) {
+  auto epoch = std::make_shared<LayoutEpoch>(make_model(kEventsA, 1));
+  FleetEstimator fleet(epoch);
+  const NodeId node = fleet.intern("node-0");
+  Rng rng(14);
+  const CounterSample map_sample = union_sample(rng);
+  const double good = fleet.ingest(node, map_sample, 1.0);
+
+  NodeSample ancient;
+  ancient.node = node;
+  ancient.now_s = 2.0;
+  ancient.sample = epoch->current()->layout.to_dense(map_sample);
+  ancient.generation = 1;
+
+  for (std::uint64_t i = 0; i < LayoutEpoch::kHistory + 1; ++i) {
+    epoch->publish(make_model(kEventsA, 20 + i));
+  }
+  ASSERT_EQ(epoch->at(1), nullptr);
+  ASSERT_EQ(fleet.ingest_batch({&ancient, 1}), 1u);
+  EXPECT_DOUBLE_EQ(*fleet.node_estimate(node), good);
+  EXPECT_EQ(*fleet.node_health(node), HealthState::Degraded);
+}
+
+// ------------------------------------------------------------------- soak
+
+// Readers estimate continuously while a swapper publishes new models. No
+// estimate may be dropped, NaN, or outside the guard range, and each
+// reader's observed generation must be monotone non-decreasing.
+TEST(EpochSoak, ReadersNeverSeeNaNWhileSwapsRace) {
+  auto epoch = std::make_shared<LayoutEpoch>(make_model(kEventsA, 1));
+  constexpr std::size_t kReaders = 4;
+  constexpr std::size_t kEstimatesPerReader = 4000;
+  constexpr std::size_t kSwaps = 40;
+
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      OnlineEstimator estimator(epoch);
+      const EstimatorGuards& guards = estimator.guards();
+      Rng rng(100 + r);
+      std::uint64_t last_generation = 0;
+      for (std::size_t i = 0; i < kEstimatesPerReader; ++i) {
+        const double watts = estimator.estimate_guarded(union_sample(rng));
+        const std::uint64_t generation = estimator.generation();
+        if (!std::isfinite(watts) || watts < guards.min_watts ||
+            watts > guards.max_watts || generation < last_generation) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_generation = generation;
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (std::size_t s = 0; s < kSwaps; ++s) {
+      epoch->publish(
+          make_model(s % 2 == 0 ? kEventsB : kEventsA, 1000 + s));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  swapper.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(epoch->generation(), 1 + kSwaps);
+}
+
+// Fleet ingestion racing hot swaps: concurrent per-node map-based ingest
+// plus batch ingest while models are republished. Every node must end up
+// with a finite estimate and the aggregate must be finite and complete.
+TEST(EpochSoak, FleetIngestionRacesSwapsWithoutDroppingNodes) {
+  auto epoch = std::make_shared<LayoutEpoch>(make_model(kEventsA, 1));
+  FleetOptions options;
+  options.shard_count = 8;
+  FleetEstimator fleet(epoch, 0.0, 1e9, options);
+
+  constexpr std::size_t kIngesters = 4;
+  constexpr std::size_t kNodesPerThread = 8;
+  constexpr std::size_t kRounds = 400;
+  constexpr std::size_t kSwaps = 30;
+
+  std::vector<std::vector<NodeId>> ids(kIngesters);
+  for (std::size_t t = 0; t < kIngesters; ++t) {
+    for (std::size_t n = 0; n < kNodesPerThread; ++n) {
+      ids[t].push_back(fleet.intern("node-" + std::to_string(t) + "-" +
+                                    std::to_string(n)));
+    }
+  }
+
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> ingesters;
+  for (std::size_t t = 0; t < kIngesters; ++t) {
+    ingesters.emplace_back([&, t] {
+      Rng rng(500 + t);
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        const double now_s = static_cast<double>(round + 1);
+        for (const NodeId id : ids[t]) {
+          const double watts = fleet.ingest(id, union_sample(rng), now_s);
+          if (!std::isfinite(watts)) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (std::size_t s = 0; s < kSwaps; ++s) {
+      epoch->publish(make_model(s % 2 == 0 ? kEventsB : kEventsA, 2000 + s));
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+  for (std::thread& t : ingesters) {
+    t.join();
+  }
+  swapper.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  const FleetSnapshot snapshot = fleet.snapshot(static_cast<double>(kRounds));
+  EXPECT_EQ(snapshot.nodes_reporting, kIngesters * kNodesPerThread);
+  EXPECT_EQ(snapshot.nodes_failed, 0u);
+  EXPECT_TRUE(std::isfinite(snapshot.total_watts));
+  EXPECT_GT(snapshot.total_watts, 0.0);
+}
+
+// Barrier-synchronized swap schedule: with swaps pinned to known sample
+// boundaries, the concurrent run must be bit-identical to a serial replay of
+// the same schedule — hot swapping adds no nondeterminism of its own.
+TEST(EpochSoak, BarrieredSwapScheduleMatchesSerialReplayBitExactly) {
+  constexpr std::size_t kPhases = 6;
+  constexpr std::size_t kSamplesPerPhase = 50;
+
+  // Pre-generate the deterministic inputs and swap schedule.
+  std::vector<CounterSample> samples;
+  {
+    Rng rng(321);
+    for (std::size_t i = 0; i < kPhases * kSamplesPerPhase; ++i) {
+      samples.push_back(union_sample(rng));
+    }
+  }
+  const auto model_for_phase = [](std::size_t phase) {
+    return make_model(phase % 2 == 0 ? kEventsA : kEventsB, 4000 + phase);
+  };
+
+  // Serial replay: estimate each phase's samples, then swap.
+  std::vector<double> serial;
+  {
+    auto epoch = std::make_shared<LayoutEpoch>(model_for_phase(0));
+    OnlineEstimator estimator(epoch);
+    for (std::size_t phase = 0; phase < kPhases; ++phase) {
+      if (phase > 0) {
+        epoch->publish(model_for_phase(phase));
+      }
+      for (std::size_t i = 0; i < kSamplesPerPhase; ++i) {
+        serial.push_back(
+            estimator.estimate_guarded(samples[phase * kSamplesPerPhase + i]));
+      }
+    }
+  }
+
+  // Concurrent run: a reader thread and a swapper thread synchronized by a
+  // barrier at every phase boundary.
+  std::vector<double> concurrent(serial.size());
+  {
+    auto epoch = std::make_shared<LayoutEpoch>(model_for_phase(0));
+    std::barrier<> phase_barrier(2);
+    std::thread reader([&] {
+      OnlineEstimator estimator(epoch);
+      for (std::size_t phase = 0; phase < kPhases; ++phase) {
+        phase_barrier.arrive_and_wait();  // swapper published phase's model
+        for (std::size_t i = 0; i < kSamplesPerPhase; ++i) {
+          const std::size_t index = phase * kSamplesPerPhase + i;
+          concurrent[index] = estimator.estimate_guarded(samples[index]);
+        }
+        phase_barrier.arrive_and_wait();  // phase fully estimated
+      }
+    });
+    std::thread swapper([&] {
+      for (std::size_t phase = 0; phase < kPhases; ++phase) {
+        if (phase > 0) {
+          epoch->publish(model_for_phase(phase));
+        }
+        phase_barrier.arrive_and_wait();
+        phase_barrier.arrive_and_wait();
+      }
+    });
+    reader.join();
+    swapper.join();
+  }
+
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(concurrent[i], serial[i]) << "sample " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pwx::core

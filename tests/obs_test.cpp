@@ -73,6 +73,30 @@ TEST_F(ObsTest, HandlesAreStableAndGetOrCreate) {
   EXPECT_EQ(snap.find("x")->help, "first help wins");
 }
 
+TEST_F(ObsTest, SnapshotFilteredKeepsPrefixAndOrder) {
+  obs::MetricRegistry reg;
+  reg.counter("serve.refresh_attempts").add_unguarded(2);
+  reg.counter("serve.drift_windows").add_unguarded(7);
+  reg.gauge("serve.generation").set_unguarded(3.0);
+  reg.counter("campaign.runs").add_unguarded(1);
+  reg.counter("serving").add_unguarded(9);  // prefix must match "serve."
+
+  const obs::MetricsSnapshot filtered = reg.snapshot().filtered("serve.");
+  ASSERT_EQ(filtered.values.size(), 3u);
+  // Name-sorted order is preserved from the full snapshot.
+  EXPECT_EQ(filtered.values[0].name, "serve.drift_windows");
+  EXPECT_EQ(filtered.values[1].name, "serve.generation");
+  EXPECT_EQ(filtered.values[2].name, "serve.refresh_attempts");
+  EXPECT_EQ(filtered.find("campaign.runs"), nullptr);
+  EXPECT_EQ(filtered.find("serving"), nullptr);
+  EXPECT_EQ(filtered.find("serve.drift_windows")->counter, 7u);
+  EXPECT_DOUBLE_EQ(filtered.find("serve.generation")->gauge, 3.0);
+
+  // The empty prefix is the identity; an unmatched prefix is empty.
+  EXPECT_EQ(reg.snapshot().filtered("").values.size(), reg.snapshot().values.size());
+  EXPECT_TRUE(reg.snapshot().filtered("nope.").values.empty());
+}
+
 TEST_F(ObsTest, KindConflictThrows) {
   obs::MetricRegistry reg;
   reg.counter("metric");

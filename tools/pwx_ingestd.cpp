@@ -6,6 +6,13 @@
 // the merged table, which is bit-identical to a cold batch over the same
 // files (see trace/incremental.hpp).
 //
+// With --refresh the daemon additionally runs the self-healing serving loop
+// (src/serve): it bootstraps a power model from the first ingested corpus,
+// serves every republished row through an epoch-bound OnlineEstimator, feeds
+// the (estimate, measured power) residuals to a DriftMonitor, and lets the
+// Supervisor retrain + validate + hot-swap the model when drift persists.
+// All lifecycle decisions land in the serve.* obs counters.
+//
 // Usage:
 //   pwx-ingestd <directory> [options]
 //
@@ -16,32 +23,54 @@
 //   --no-verify         defer checksum verification on the mapped path
 //   --quiet             suppress the per-republish profile table
 //   --metrics           print the obs metric table on exit
+//   --refresh           enable drift detection + guarded retrain + hot-swap
+//   --refresh-window <n>   drift window size in samples (default 32)
+//   --refresh-mape <pct>   per-window MAPE breach threshold (default 5)
 //
-// Exit codes: 0 ok, 1 generic error, 2 usage. Ingestion failures of
-// individual files are not fatal: the daemon reports them on stderr, keeps
-// the file quarantined until it changes, and publishes the rest.
+// SIGINT/SIGTERM request a graceful shutdown: the in-flight poll finishes
+// and republishes, final metrics are flushed, and the daemon exits 0.
+//
+// Exit codes: 0 ok (including signal-requested shutdown), 1 generic error,
+// 2 usage. Ingestion failures of individual files are not fatal: the daemon
+// reports them on stderr, keeps the file quarantined until it changes, and
+// publishes the rest.
 //
 // Telemetry: ingestd.files_ingested / files_failed / bytes_mapped /
 // bytes_copied / republishes counters and the ingestd.republish_seconds
-// latency histogram, all in the process-wide pwx::obs registry.
+// latency histogram, plus the serve.* lifecycle counters in --refresh mode,
+// all in the process-wide pwx::obs registry.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "core/epoch.hpp"
+#include "core/estimator.hpp"
+#include "core/model.hpp"
+#include "core/selection.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "serve/supervisor.hpp"
 #include "trace/incremental.hpp"
+#include "workloads/registry.hpp"
 
 namespace {
 
 using namespace pwx;
+
+/// Set by the SIGINT/SIGTERM handler; the poll loop finishes its in-flight
+/// republish, flushes metrics, and exits 0.
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
 
 void print_profiles(const std::vector<trace::PhaseProfile>& profiles) {
   TablePrinter table({"workload", "phase", "f [GHz]", "threads", "elapsed [s]",
@@ -54,11 +83,136 @@ void print_profiles(const std::vector<trace::PhaseProfile>& profiles) {
   table.print(std::cout);
 }
 
+/// Interruptible sleep: returns early when a stop signal arrives.
+void sleep_interruptible(double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (g_stop == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+/// A profile row as the estimator sees it: counts reconstructed from the
+/// per-second rates over the profiled interval.
+core::CounterSample sample_from_row(const acquire::DataRow& row) {
+  core::CounterSample sample;
+  sample.elapsed_s = row.elapsed_s;
+  sample.frequency_ghz = row.frequency_ghz;
+  sample.voltage = row.avg_voltage;
+  for (const auto& [preset, rate] : row.counter_rates) {
+    sample.counts[preset] = rate * row.elapsed_s;
+  }
+  return sample;
+}
+
+/// The self-healing serving loop around one IncrementalCampaign: an
+/// epoch-bound estimator replays every republished row, and the Supervisor
+/// watches the residuals against the measured power.
+class RefreshLoop {
+public:
+  RefreshLoop(serve::DriftConfig drift, acquire::IngestOptions ingest)
+      : drift_(drift), ingest_(ingest) {}
+
+  /// Feed one republish. Bootstraps the model from the first corpus that is
+  /// big enough; afterwards serves every row and reports drift decisions.
+  void on_republish(const trace::IncrementalCampaign& campaign) {
+    if (supervisor_ == nullptr && !bootstrap(campaign)) {
+      return;
+    }
+    // The retraining corpus follows the directory: a refresh always re-reads
+    // whatever files are present right now.
+    supervisor_->set_refresh_corpus(campaign.paths());
+
+    for (const trace::PhaseProfile& profile : campaign.profiles()) {
+      const acquire::DataRow row =
+          acquire::row_from_profile(profile, workloads::Suite::Roco2);
+      const double estimate =
+          estimator_->estimate_guarded(sample_from_row(row));
+      supervisor_->observe_health(
+          estimator_->health() != core::HealthState::Ok, false);
+      const auto report =
+          supervisor_->observe(estimate, row.avg_power_watts);
+      if (report) {
+        std::fprintf(stderr,
+                     "ingestd: drift refresh #%llu: %s (gen %llu -> %llu, "
+                     "candidate MAPE %.2f%%, incumbent %.2f%%)\n",
+                     static_cast<unsigned long long>(
+                         supervisor_->refreshes_run()),
+                     std::string(serve::refresh_status_name(report->status))
+                         .c_str(),
+                     static_cast<unsigned long long>(
+                         report->incumbent_generation),
+                     static_cast<unsigned long long>(
+                         report->published_generation),
+                     report->candidate_holdout_mape_pct,
+                     report->incumbent_holdout_mape_pct);
+      }
+    }
+  }
+
+  bool active() const { return supervisor_ != nullptr; }
+  std::uint64_t generation() const {
+    return estimator_ != nullptr ? estimator_->generation() : 0;
+  }
+
+private:
+  bool bootstrap(const trace::IncrementalCampaign& campaign) {
+    std::vector<acquire::DataRow> rows;
+    for (const trace::PhaseProfile& profile : campaign.profiles()) {
+      rows.push_back(
+          acquire::row_from_profile(profile, workloads::Suite::Roco2));
+    }
+    acquire::Dataset dataset(std::move(rows));
+    acquire::sanitize_dataset(dataset);
+    // The bootstrap fit needs enough rows for a stable Equation-1 fit; keep
+    // polling until the corpus grows past the floor.
+    if (dataset.size() < 16) {
+      return false;
+    }
+    try {
+      core::SelectionOptions selection;
+      selection.count =
+          std::min<std::size_t>(6, dataset.common_presets().size());
+      const core::SelectionResult selected = core::select_events(
+          dataset, dataset.common_presets(), selection);
+      core::FeatureSpec spec;
+      spec.events = selected.selected();
+      core::PowerModel model = core::train_model(dataset, spec);
+
+      auto epoch = std::make_shared<core::LayoutEpoch>(std::move(model));
+      estimator_ = std::make_unique<core::OnlineEstimator>(epoch);
+      serve::SupervisorConfig config;
+      config.drift = drift_;
+      config.refresh.trace_paths = campaign.paths();
+      config.refresh.ingest = ingest_;
+      config.refresh.event_count = selection.count;
+      supervisor_ = std::make_unique<serve::Supervisor>(epoch, config);
+      std::fprintf(stderr,
+                   "ingestd: refresh loop armed: %zu rows, %zu events, "
+                   "serving generation %llu\n",
+                   dataset.size(), spec.events.size(),
+                   static_cast<unsigned long long>(estimator_->generation()));
+      return true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ingestd: refresh bootstrap failed: %s\n",
+                   e.what());
+      return false;
+    }
+  }
+
+  serve::DriftConfig drift_;
+  acquire::IngestOptions ingest_;
+  std::unique_ptr<core::OnlineEstimator> estimator_;
+  std::unique_ptr<serve::Supervisor> supervisor_;
+};
+
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <directory> [--once] [--interval <s>] [--polls <n>]\n"
-               "       [--no-mmap] [--no-verify] [--quiet] [--metrics]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s <directory> [--once] [--interval <s>] [--polls <n>]\n"
+      "       [--no-mmap] [--no-verify] [--quiet] [--metrics]\n"
+      "       [--refresh] [--refresh-window <n>] [--refresh-mape <pct>]\n",
+      argv0);
   return 2;
 }
 
@@ -69,10 +223,14 @@ int main(int argc, char** argv) {
   bool once = false;
   bool quiet = false;
   bool metrics = false;
+  bool refresh = false;
   double interval_s = 1.0;
   std::uint64_t max_polls = 0;  // 0: unbounded
   trace::IncrementalCampaignOptions options;
   options.campaign.mmap = true;
+  serve::DriftConfig drift;
+  drift.window_size = 32;
+  drift.max_mape_pct = 5.0;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--once") == 0) {
@@ -81,6 +239,8 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--refresh") == 0) {
+      refresh = true;
     } else if (std::strcmp(argv[i], "--no-mmap") == 0) {
       options.campaign.mmap = false;
     } else if (std::strcmp(argv[i], "--no-verify") == 0) {
@@ -89,23 +249,40 @@ int main(int argc, char** argv) {
       interval_s = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--polls") == 0 && i + 1 < argc) {
       max_polls = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--refresh-window") == 0 && i + 1 < argc) {
+      drift.window_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--refresh-mape") == 0 && i + 1 < argc) {
+      drift.max_mape_pct = std::strtod(argv[++i], nullptr);
     } else if (directory == nullptr && argv[i][0] != '-') {
       directory = argv[i];
     } else {
       return usage(argv[0]);
     }
   }
-  if (directory == nullptr || interval_s < 0) {
+  if (directory == nullptr || interval_s < 0 || drift.window_size == 0 ||
+      drift.max_mape_pct <= 0) {
     return usage(argv[0]);
   }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
 
   obs::set_enabled(true);
   try {
     trace::IncrementalCampaign campaign(directory, options);
+    acquire::IngestOptions ingest;
+    ingest.mmap = options.campaign.mmap;
+    ingest.verify_checksum = options.campaign.verify_checksum;
+    RefreshLoop refresh_loop(drift, ingest);
+
     const std::uint64_t polls = once ? 1 : max_polls;
     for (std::uint64_t i = 0; polls == 0 || i < polls; ++i) {
       if (i > 0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+        sleep_interruptible(interval_s);
+      }
+      if (g_stop != 0) {
+        std::fprintf(stderr, "ingestd: stop signal received, shutting down\n");
+        break;
       }
       if (!campaign.poll()) {
         continue;
@@ -123,9 +300,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "ingestd:   quarantined %s: %s\n", path.c_str(),
                      error.c_str());
       }
+      if (refresh) {
+        refresh_loop.on_republish(campaign);
+      }
       if (!quiet) {
         print_profiles(campaign.profiles());
       }
+    }
+    if (refresh && refresh_loop.active()) {
+      std::fprintf(stderr, "ingestd: final serving generation %llu\n",
+                   static_cast<unsigned long long>(refresh_loop.generation()));
     }
     if (metrics) {
       obs::print_table(obs::registry().snapshot(), std::cout);
