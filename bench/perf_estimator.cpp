@@ -7,6 +7,7 @@
 #include "core/model.hpp"
 #include "core/model_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "repro_common.hpp"
 
 namespace {
@@ -73,6 +74,27 @@ void BM_EstimateSampleGuardedTelemetry(benchmark::State& state) {
   obs::set_enabled(false);
 }
 BENCHMARK(BM_EstimateSampleGuardedTelemetry);
+
+// Structured-tracing overhead contract: telemetry on plus an active sampled
+// tracer session (obs/trace.hpp). The per-sample path opens no span of its
+// own, so this measures the real steady-state cost — the tracing_active()
+// gates and the histogram exemplar writes — which bench_compare.py
+// --pair-suffix Tracing bounds against the base guarded benchmark.
+void BM_EstimateSampleGuardedTracing(benchmark::State& state) {
+  obs::set_enabled(true);
+  obs::TracerConfig config;
+  config.sample_every = 64;
+  obs::tracer().start(config);
+  core::OnlineEstimator estimator(shared_model());
+  const core::CounterSample sample = sample_for_model(shared_model());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate_guarded(sample));
+  }
+  obs::tracer().stop();
+  obs::tracer().drain();
+  obs::set_enabled(false);
+}
+BENCHMARK(BM_EstimateSampleGuardedTracing);
 
 void BM_TrainModel(benchmark::State& state) {
   const bench::StandardPipeline& p = bench::StandardPipeline::get();

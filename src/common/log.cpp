@@ -16,6 +16,7 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::atomic<LogFormat> g_format{LogFormat::Text};
 std::atomic<std::ostream*> g_stream{nullptr};
+std::atomic<LogHook> g_hook{nullptr};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -77,10 +78,24 @@ void set_log_stream(std::ostream* stream) {
   g_stream.store(stream, std::memory_order_relaxed);
 }
 
+void set_log_hook(LogHook hook) {
+  g_hook.store(hook, std::memory_order_relaxed);
+}
+
 void log_message(LogLevel level, const std::string& message,
                  const LogFields& fields) {
   if (level < log_level()) {
     return;
+  }
+  if (LogHook hook = g_hook.load(std::memory_order_relaxed)) {
+    std::string flat = message;
+    for (const auto& [key, value] : fields) {
+      flat += ' ';
+      flat += key;
+      flat += '=';
+      flat += value;
+    }
+    hook(level, flat);
   }
   std::ostream* stream = g_stream.load(std::memory_order_relaxed);
   std::ostream& out = stream != nullptr ? *stream : std::cerr;

@@ -50,6 +50,15 @@ void set_log_stream(std::ostream* stream);
 void log_message(LogLevel level, const std::string& message,
                  const LogFields& fields = {});
 
+/// Observer of every emitted log line (post level filter, pre formatting).
+/// Receives the level and the flat "message key=value ..." rendering. Used
+/// by the obs flight recorder to buffer recent log lines without making
+/// common depend on obs; nullptr (the default) removes the hook. The hook
+/// runs outside the sink lock and must be cheap and reentrancy-free (it must
+/// not call log_message).
+using LogHook = void (*)(LogLevel level, const std::string& line);
+void set_log_hook(LogHook hook);
+
 namespace detail {
 template <typename... Parts>
 void log_fmt(LogLevel level, Parts&&... parts) {

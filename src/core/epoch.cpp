@@ -1,6 +1,8 @@
 #include "core/epoch.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace pwx::core {
 
@@ -41,6 +43,7 @@ std::shared_ptr<const PublishedModel> LayoutEpoch::at(std::uint64_t generation) 
 }
 
 std::uint64_t LayoutEpoch::publish_locked(PowerModel model) {
+  PWX_SPAN("epoch.publish");
   const std::uint64_t next = generation_.load(std::memory_order_relaxed) + 1;
   auto published = std::make_shared<const PublishedModel>(std::move(model), next);
   current_ = published;
@@ -48,6 +51,7 @@ std::uint64_t LayoutEpoch::publish_locked(PowerModel model) {
   // Release-store last: a reader that observes the new generation will find
   // the matching publication behind current().
   generation_.store(next, std::memory_order_release);
+  obs::span_attr("generation", next);
   if (obs::enabled()) {
     EpochMetrics& m = epoch_metrics();
     m.publishes.add_unguarded(1);

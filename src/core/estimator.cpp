@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace pwx::core {
 
@@ -85,6 +87,14 @@ double guarded_estimate_step(const ModelLayout& layout, double smoothing,
                      ? HealthState::Failed
                      : HealthState::Degraded;
   const double held = state.last_good.value_or(guards.min_watts);
+  // Black-box dump on the health *transition* (not every held estimate):
+  // the flight ring at this moment holds the spans and metric deltas that
+  // led into the degradation. Transition-only keeps the hot path clean.
+  if (state.health != before && obs::flight().armed()) {
+    obs::flight().trigger(state.health == HealthState::Failed
+                              ? "estimator_failed"
+                              : "estimator_degraded");
+  }
   if (telemetry) {
     EstimatorMetrics& m = estimator_metrics();
     m.estimates.add_unguarded(1);
@@ -124,6 +134,7 @@ double OnlineEstimator::smooth(double raw) {
 
 void OnlineEstimator::maybe_adopt() {
   if (epoch_ != nullptr && epoch_->generation() != current_->generation) {
+    PWX_SPAN("epoch.adopt");
     current_ = epoch_->current();
     scratch_ = current_->layout.make_sample();
     // GuardedState survives: the held estimate and smoothing accumulator

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace pwx::core {
 
@@ -377,6 +379,8 @@ std::size_t FleetEstimator::ingest_batch(std::span<const NodeSample> batch) {
   if (batch.empty()) {
     return 0;
   }
+  PWX_SPAN("fleet.ingest_batch");
+  obs::span_attr("samples", static_cast<std::uint64_t>(batch.size()));
   const std::size_t shard_count = options_.shard_count;
   {
     // Validate handles up front so no error is raised inside the (possibly
@@ -438,6 +442,7 @@ std::size_t FleetEstimator::ingest_batch(std::span<const NodeSample> batch) {
 }
 
 FleetSnapshot FleetEstimator::snapshot(double now_s) const {
+  PWX_SPAN("fleet.snapshot");
   FleetSnapshot snap;
   const bool telemetry = obs::enabled();
   bool have_minmax = false;

@@ -5,6 +5,7 @@
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 
 namespace pwx::obs {
 
@@ -50,6 +51,22 @@ Json histogram_to_json(const HistogramSnapshot& hist) {
     buckets.push_back(Json(std::move(bucket)));
   }
   out["buckets"] = Json(std::move(buckets));
+  // Trace exemplars are only attached when an observation ran inside a
+  // sampled trace — omitted entirely otherwise, so tracing-off output (and
+  // its goldens) is unchanged.
+  if (!hist.exemplars.empty()) {
+    Json::Array exemplars;
+    for (const HistogramExemplar& exemplar : hist.exemplars) {
+      Json::Object entry;
+      entry["le"] = exemplar.bucket < hist.bounds.size()
+                        ? Json(hist.bounds[exemplar.bucket])
+                        : Json("+Inf");
+      entry["value"] = Json(exemplar.value);
+      entry["trace"] = Json(format_span_id(exemplar.trace_id));
+      exemplars.push_back(Json(std::move(entry)));
+    }
+    out["exemplars"] = Json(std::move(exemplars));
+  }
   return Json(std::move(out));
 }
 

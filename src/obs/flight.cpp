@@ -1,0 +1,192 @@
+#include "obs/flight.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "common/json.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
+
+namespace pwx::obs {
+
+namespace {
+
+const char* level_slug(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+// Free-function adapters: the trace tap and log hook are plain function
+// pointers, so they route through the singleton.
+void span_tap(const SpanRecord& record) { flight().note_span(record); }
+
+void log_hook(LogLevel level, const std::string& line) {
+  flight().note_log(level, line);
+}
+
+}  // namespace
+
+void FlightRecorder::arm(FlightConfig config) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    config_ = std::move(config);
+    if (config_.capacity == 0) {
+      config_.capacity = 1;
+    }
+    ring_.clear();
+    ring_.reserve(config_.capacity);
+    seq_ = 0;
+    dropped_ = 0;
+    dump_count_ = 0;
+    last_counters_.clear();
+    armed_.store(true, std::memory_order_relaxed);
+  }
+  // Hooks installed after armed_: a racing note_* sees a consistent ring.
+  set_log_hook(&log_hook);
+  trace_detail::set_flight_tap(&span_tap);
+}
+
+void FlightRecorder::disarm() {
+  trace_detail::set_flight_tap(nullptr);
+  set_log_hook(nullptr);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void FlightRecorder::push_line(std::string line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(std::move(line));
+  } else {
+    ring_[seq_ % config_.capacity] = std::move(line);
+    dropped_ += 1;
+  }
+  seq_ += 1;
+}
+
+void FlightRecorder::note_span(const SpanRecord& record) {
+  if (!armed()) {
+    return;
+  }
+  push_line(span_to_jsonl_line(record));
+}
+
+void FlightRecorder::note_log(LogLevel level, const std::string& line) {
+  if (!armed()) {
+    return;
+  }
+  Json::Object event;
+  event["event"] = Json("log");
+  event["level"] = Json(level_slug(level));
+  event["line"] = Json(line);
+  push_line(Json(std::move(event)).dump(-1));
+}
+
+void FlightRecorder::note_metrics(const MetricsSnapshot& snapshot) {
+  if (!armed()) {
+    return;
+  }
+  Json::Object deltas;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const MetricValue& value : snapshot.values) {
+      if (value.kind != MetricKind::Counter) {
+        continue;
+      }
+      const auto previous = last_counters_.find(value.name);
+      const std::uint64_t before =
+          previous == last_counters_.end() ? 0 : previous->second;
+      if (value.counter != before) {
+        deltas[value.name] =
+            Json(static_cast<std::int64_t>(value.counter - before));
+      }
+      last_counters_[value.name] = value.counter;
+    }
+  }
+  if (deltas.empty()) {
+    return;
+  }
+  Json::Object event;
+  event["event"] = Json("metrics_delta");
+  event["deltas"] = Json(std::move(deltas));
+  push_line(Json(std::move(event)).dump(-1));
+}
+
+std::string FlightRecorder::trigger(std::string_view reason) {
+  std::string path;
+  std::string body;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed) ||
+        dump_count_ >= config_.max_dumps) {
+      return "";
+    }
+    path = config_.dump_path;
+    if (dump_count_ > 0) {
+      path += '.' + std::to_string(dump_count_);
+    }
+    dump_count_ += 1;
+
+    Json::Object header;
+    header["event"] = Json("flight_dump");
+    header["reason"] = Json(std::string(reason));
+    header["t_s"] = Json(config_.clock ? config_.clock() : monotonic_s());
+    header["events"] = Json(ring_.size());
+    header["dropped"] = Json(static_cast<std::size_t>(dropped_));
+    body = Json(std::move(header)).dump(-1);
+    body += '\n';
+    // Oldest first: when full, the next overwrite slot is the oldest line.
+    const std::size_t size = ring_.size();
+    const std::size_t start = size < config_.capacity ? 0 : seq_ % config_.capacity;
+    for (std::size_t i = 0; i < size; ++i) {
+      body += ring_[(start + i) % size];
+      body += '\n';
+    }
+  }
+  // The full registry snapshot rides along so the dump is self-contained
+  // (taken outside the lock: snapshot() is independently synchronized).
+  body += to_jsonl_line(registry().snapshot(), dump_count_ - 1);
+  body += '\n';
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return "";
+  }
+  out << body;
+  out.flush();
+  return path;
+}
+
+std::uint64_t FlightRecorder::dumps() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dump_count_;
+}
+
+std::vector<std::string> FlightRecorder::recent() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(ring_.size());
+  const std::size_t size = ring_.size();
+  const std::size_t start = size < config_.capacity ? 0 : seq_ % config_.capacity;
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(ring_[(start + i) % size]);
+  }
+  return out;
+}
+
+FlightRecorder& flight() {
+  static FlightRecorder instance;  // NOLINT: intentional process lifetime
+  return instance;
+}
+
+}  // namespace pwx::obs

@@ -1,0 +1,103 @@
+// Always-on bounded flight recorder — the serving loop's black box.
+//
+// While armed, the recorder keeps a fixed-size ring of the most recent
+// observability events, each preformatted as one JSONL line:
+//
+//   * completed trace spans (tapped at span end via trace_detail — arming
+//     the recorder turns span recording on even with no Tracer collector),
+//   * log lines (via the common/log hook, post level filter),
+//   * counter deltas between telemetry flushes (TelemetrySink calls
+//     note_metrics so every flush leaves a compact "what moved" line).
+//
+// trigger(reason) writes the buffered history plus a full metrics snapshot
+// to the configured dump file — called on guarded-estimate degradation
+// (core::guarded_estimate_step health transition), refresh rejection
+// (serve::refresh_model), trace-IO corruption (trace::IncrementalCampaign
+// quarantine), and SIGUSR1 in pwx-ingestd. Repeat dumps get a ".N" suffix
+// and stop after max_dumps so a crash loop cannot fill the disk.
+//
+// Cost model: unarmed, every entry point is one relaxed atomic load. Armed,
+// note_* formats one JSONL string and rotates a mutex-guarded ring —
+// acceptable because spans and log lines are stage-granularity events, not
+// per-sample ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
+namespace pwx::obs {
+
+struct MetricsSnapshot;  // obs/metrics.hpp
+
+struct FlightConfig {
+  std::size_t capacity = 512;  ///< events retained (spans + logs + deltas)
+  std::string dump_path;       ///< dump target; ".N" appended after the first
+  std::size_t max_dumps = 4;   ///< hard cap on dump files per process
+  /// Timestamp source for dump headers; defaults to obs::monotonic_s.
+  std::function<double()> clock;
+};
+
+/// Process-wide black box. arm()/disarm() bracket recording; all note_* and
+/// trigger() calls are thread-safe and no-ops while disarmed.
+class FlightRecorder {
+public:
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Start recording: installs the span tap and log hook. Re-arming resets
+  /// the ring and the dump counter.
+  void arm(FlightConfig config);
+
+  /// Stop recording and uninstall the hooks. trigger() no-ops afterwards,
+  /// so owners wanting a final shutdown dump must trigger before disarming.
+  void disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Buffer one completed span (called from the trace tap).
+  void note_span(const SpanRecord& record);
+
+  /// Buffer one log line (called from the common/log hook).
+  void note_log(LogLevel level, const std::string& line);
+
+  /// Buffer counter deltas since the previous note_metrics call — the
+  /// TelemetrySink calls this on every flush.
+  void note_metrics(const MetricsSnapshot& snapshot);
+
+  /// Write the buffered history + a full metrics snapshot to the dump file.
+  /// Returns the path written, or "" when disarmed or max_dumps exhausted.
+  std::string trigger(std::string_view reason);
+
+  /// Dumps written since arm().
+  std::uint64_t dumps() const;
+
+  /// FIFO copy of the buffered JSONL lines (tests / tooling).
+  std::vector<std::string> recent() const;
+
+private:
+  void push_line(std::string line);
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> armed_{false};
+  FlightConfig config_;
+  std::vector<std::string> ring_;  ///< ring_[i % capacity], oldest at seq_ - size
+  std::uint64_t seq_ = 0;          ///< lines ever pushed this arming
+  std::uint64_t dropped_ = 0;      ///< lines rotated out
+  std::uint64_t dump_count_ = 0;
+  std::map<std::string, std::uint64_t, std::less<>> last_counters_;
+};
+
+/// The process-wide flight recorder (sibling of obs::tracer()).
+FlightRecorder& flight();
+
+}  // namespace pwx::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace pwx::obs {
 
@@ -64,6 +65,8 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
     PWX_REQUIRE(std::isfinite(b), "histogram bounds must be finite");
   }
   buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  exemplar_trace_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  exemplar_value_ = std::vector<std::atomic<double>>(bounds_.size() + 1);
 }
 
 void Histogram::observe(double value) {
@@ -73,6 +76,16 @@ void Histogram::observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // Exemplar: when this observation ran inside a sampled trace, remember
+  // which one (last-wins per bucket). One thread-local read when tracing is
+  // active, one branch when it is not.
+  if (tracing_active()) {
+    const std::uint64_t trace_id = current_trace_id();
+    if (trace_id != 0) {
+      exemplar_value_[bucket].store(value, std::memory_order_relaxed);
+      exemplar_trace_[bucket].store(trace_id, std::memory_order_release);
+    }
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   // fetch_add on atomic<double> needs a CAS loop pre-C++20-on-libstdc++;
   // spell it out for portability.
@@ -90,12 +103,24 @@ HistogramSnapshot Histogram::snapshot() const {
   }
   snap.count = count_.load(std::memory_order_relaxed);
   snap.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < exemplar_trace_.size(); ++b) {
+    const std::uint64_t trace_id =
+        exemplar_trace_[b].load(std::memory_order_acquire);
+    if (trace_id != 0) {
+      snap.exemplars.push_back(HistogramExemplar{
+          b, exemplar_value_[b].load(std::memory_order_relaxed), trace_id});
+    }
+  }
   return snap;
 }
 
 void Histogram::reset() {
   for (auto& bucket : buckets_) {
     bucket.store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t b = 0; b < exemplar_trace_.size(); ++b) {
+    exemplar_trace_[b].store(0, std::memory_order_relaxed);
+    exemplar_value_[b].store(0.0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);

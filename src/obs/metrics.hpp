@@ -85,12 +85,24 @@ private:
   std::atomic<double> value_{0.0};
 };
 
+/// One trace exemplar attached to a histogram bucket: the most recent
+/// observation that happened inside a sampled trace, so a slow p99 bucket
+/// links back to a concrete causal trace (see obs/trace.hpp).
+struct HistogramExemplar {
+  std::size_t bucket = 0;        ///< bucket index (bounds index; last = +Inf)
+  double value = 0.0;            ///< the observed value
+  std::uint64_t trace_id = 0;    ///< TraceId active at observe time
+};
+
 /// Point-in-time copy of one histogram, with quantile interpolation.
 struct HistogramSnapshot {
   std::vector<double> bounds;          ///< upper bounds, ascending; implicit +Inf last
   std::vector<std::uint64_t> counts;   ///< per-bucket counts, bounds.size() + 1 entries
   std::uint64_t count = 0;             ///< total observations
   double sum = 0.0;                    ///< sum of observed values
+  /// Buckets that have an exemplar, ascending by bucket; empty when no
+  /// observation ever ran under a sampled trace (exports omit it then).
+  std::vector<HistogramExemplar> exemplars;
 
   /// Bucket-interpolated quantile (Prometheus histogram_quantile semantics:
   /// linear within the bucket, lower bound 0, the +Inf bucket collapses to
@@ -118,6 +130,10 @@ public:
 private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  // Per-bucket last-wins exemplar (trace id 0 = none). Written only when an
+  // observation runs inside a sampled trace, so the common case is free.
+  std::vector<std::atomic<std::uint64_t>> exemplar_trace_;
+  std::vector<std::atomic<double>> exemplar_value_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };

@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/span.hpp"
 
 namespace pwx::obs {
@@ -27,6 +28,11 @@ TelemetrySink::TelemetrySink(std::ostream& out, TelemetrySinkConfig config,
 
 void TelemetrySink::flush(double now_s) {
   const MetricsSnapshot snapshot = registry_->snapshot();
+  // Feed the flight recorder's "what moved since the last flush" ring; a
+  // disarmed recorder makes this one relaxed load.
+  if (flight().armed()) {
+    flight().note_metrics(snapshot);
+  }
   switch (config_.format) {
     case ExportFormat::Jsonl: {
       out_ << to_jsonl_line(snapshot, flushes_) << '\n';

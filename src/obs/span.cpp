@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pwx::obs {
 
@@ -69,6 +70,9 @@ SpanRegistry& spans() {
 }
 
 Span::Span(std::string_view name) {
+  if (tracing_active()) {
+    traced_ = trace_detail::begin_span(name);
+  }
   if (!enabled()) {
     return;
   }
@@ -82,12 +86,14 @@ Span::Span(std::string_view name) {
 }
 
 Span::~Span() {
-  if (!active_) {
-    return;
+  if (active_) {
+    const double elapsed = monotonic_s() - start_s_;
+    spans().record(t_path, elapsed);
+    t_path.resize(parent_length_);
   }
-  const double elapsed = monotonic_s() - start_s_;
-  spans().record(t_path, elapsed);
-  t_path.resize(parent_length_);
+  if (traced_) {
+    trace_detail::end_span();
+  }
 }
 
 }  // namespace pwx::obs

@@ -75,9 +75,17 @@ private:
 /// The process-wide span registry (sibling of obs::registry()).
 SpanRegistry& spans();
 
-/// RAII scope timer. Inactive (two branches total) while telemetry is
-/// disabled; activation is decided at construction, so toggling the global
-/// switch mid-scope never unbalances the thread-local path stack.
+/// RAII scope timer. Inactive (two branches total) while telemetry and
+/// tracing are both disabled; activation of each half is decided at
+/// construction, so toggling either global switch mid-scope never unbalances
+/// the thread-local path or parent stacks.
+///
+/// Two independent halves share one site:
+///   * metrics half (obs::enabled()) — aggregate path timing into
+///     SpanRegistry, exactly as before;
+///   * tracing half (obs::tracing_active()) — a structured SpanRecord with
+///     TraceId/SpanId/parent linkage through obs/trace.hpp, recorded into
+///     the per-thread ring when the trace is sampled.
 class Span {
 public:
   explicit Span(std::string_view name);
@@ -87,6 +95,7 @@ public:
 
 private:
   bool active_ = false;
+  bool traced_ = false;            ///< balanced trace_detail frame pushed
   std::size_t parent_length_ = 0;  ///< thread path length to restore
   double start_s_ = 0.0;
 };

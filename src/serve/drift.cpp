@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace pwx::serve {
 
@@ -83,6 +85,7 @@ std::optional<WindowStats> DriftMonitor::close_window() {
 }
 
 std::optional<WindowStats> DriftMonitor::finish_window() {
+  PWX_SPAN("drift.window");
   WindowStats stats;
   stats.index = windows_closed_;
   stats.residuals = residuals_;
@@ -152,6 +155,8 @@ std::optional<WindowStats> DriftMonitor::finish_window() {
     metrics.streak.set_unguarded(static_cast<double>(consecutive_breaches_));
   }
 
+  obs::span_attr("mape_pct", stats.mape_pct);
+  obs::span_attr("breached", stats.breached ? "true" : "false");
   last_window_ = stats;
   return stats;
 }

@@ -9,7 +9,10 @@
 #include "core/model.hpp"
 #include "core/model_io.hpp"
 #include "core/selection.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "stats/metrics.hpp"
 
 namespace pwx::serve {
@@ -46,6 +49,59 @@ RefreshMetrics& refresh_metrics() {
   static RefreshMetrics metrics;
   return metrics;
 }
+
+/// Per-stage wall-time histograms — stage latency in plain metrics even
+/// with tracing off (the satellite's serve.refresh.stage_seconds.<stage>).
+struct StageHistograms {
+  obs::Histogram& ingest = obs::registry().histogram(
+      "serve.refresh.stage_seconds.ingest", {},
+      "refresh stage: corpus ingest + holdout split");
+  obs::Histogram& select = obs::registry().histogram(
+      "serve.refresh.stage_seconds.select", {},
+      "refresh stage: event selection");
+  obs::Histogram& fit = obs::registry().histogram(
+      "serve.refresh.stage_seconds.fit", {},
+      "refresh stage: candidate fit");
+  obs::Histogram& plausibility = obs::registry().histogram(
+      "serve.refresh.stage_seconds.plausibility", {},
+      "refresh stage: plausibility gate");
+  obs::Histogram& validation = obs::registry().histogram(
+      "serve.refresh.stage_seconds.validation", {},
+      "refresh stage: validation gate");
+  obs::Histogram& publish = obs::registry().histogram(
+      "serve.refresh.stage_seconds.publish", {},
+      "refresh stage: epoch publish");
+};
+
+obs::Histogram& stage_seconds(RefreshStage stage) {
+  static StageHistograms histograms;
+  switch (stage) {
+    case RefreshStage::Ingest: return histograms.ingest;
+    case RefreshStage::Select: return histograms.select;
+    case RefreshStage::Fit: return histograms.fit;
+    case RefreshStage::Plausibility: return histograms.plausibility;
+    case RefreshStage::Validation: return histograms.validation;
+    case RefreshStage::Publish: return histograms.publish;
+    case RefreshStage::None: break;
+  }
+  return histograms.ingest;
+}
+
+/// RAII stage bracket: marks the report's current stage, opens the child
+/// span, and times the scope into the stage histogram. Early returns and
+/// exceptions unwind through it, so the breached stage is always the one
+/// recorded last.
+class StageScope {
+public:
+  StageScope(RefreshReport& report, RefreshStage stage, std::string_view span_name)
+      : span_(span_name), timer_(stage_seconds(stage)) {
+    report.stage = stage;
+  }
+
+private:
+  obs::Span span_;
+  obs::ScopedTimer timer_;
+};
 
 void count_exit(RefreshStatus status) {
   if (!obs::enabled()) {
@@ -94,8 +150,23 @@ std::string_view refresh_status_name(RefreshStatus status) {
   return "unknown";
 }
 
-RefreshReport refresh_model(core::LayoutEpoch& epoch,
-                            const RefreshConfig& config) {
+std::string_view refresh_stage_name(RefreshStage stage) {
+  switch (stage) {
+    case RefreshStage::None: return "none";
+    case RefreshStage::Ingest: return "ingest";
+    case RefreshStage::Select: return "select";
+    case RefreshStage::Fit: return "fit";
+    case RefreshStage::Plausibility: return "plausibility";
+    case RefreshStage::Validation: return "validation";
+    case RefreshStage::Publish: return "publish";
+  }
+  return "unknown";
+}
+
+namespace {
+
+RefreshReport refresh_model_impl(core::LayoutEpoch& epoch,
+                                 const RefreshConfig& config) {
   const auto start = std::chrono::steady_clock::now();
   refresh_metrics().attempts.add();
 
@@ -118,36 +189,52 @@ RefreshReport refresh_model(core::LayoutEpoch& epoch,
   };
 
   // --- Re-ingest the corpus and fit a candidate. Any throw here is a
-  // pipeline failure, not a gate decision.
+  // pipeline failure, not a gate decision; report.stage (set by the
+  // innermost StageScope) names the stage that threw.
   core::PowerModel candidate;
   acquire::HoldoutSplit split;
   try {
     if (config.trace_paths.empty()) {
       return finish(RefreshStatus::Failed, "no trace files configured");
     }
-    acquire::Dataset dataset =
-        acquire::ingest_trace_files(config.trace_paths, config.ingest);
-    report.dataset_rows = dataset.size();
-    if (dataset.size() < 8) {
-      return finish(RefreshStatus::Failed,
-                    "retraining corpus too small: " +
-                        std::to_string(dataset.size()) + " rows");
+    std::vector<pmc::Preset> common_presets;
+    {
+      const StageScope stage(report, RefreshStage::Ingest, "refresh.ingest");
+      acquire::Dataset dataset =
+          acquire::ingest_trace_files(config.trace_paths, config.ingest);
+      report.dataset_rows = dataset.size();
+      obs::span_attr("rows", static_cast<std::uint64_t>(dataset.size()));
+      if (dataset.size() < 8) {
+        return finish(RefreshStatus::Failed,
+                      "retraining corpus too small: " +
+                          std::to_string(dataset.size()) + " rows");
+      }
+      common_presets = dataset.common_presets();
+      split = acquire::split_holdout(dataset, config.holdout_fraction,
+                                     config.holdout_seed);
+      report.holdout_rows = split.holdout.size();
     }
-    split = acquire::split_holdout(dataset, config.holdout_fraction,
-                                   config.holdout_seed);
-    report.holdout_rows = split.holdout.size();
 
-    core::SelectionOptions selection;
-    selection.count = config.event_count;
-    selection.max_mean_vif = config.max_mean_vif;
-    const core::SelectionResult selected =
-        core::select_events(split.train, dataset.common_presets(), selection);
-    report.selected_events = selected.selected();
+    {
+      const StageScope stage(report, RefreshStage::Select, "refresh.select");
+      core::SelectionOptions selection;
+      selection.count = config.event_count;
+      selection.max_mean_vif = config.max_mean_vif;
+      const core::SelectionResult selected =
+          core::select_events(split.train, common_presets, selection);
+      report.selected_events = selected.selected();
+      obs::span_attr("events",
+                     static_cast<std::uint64_t>(report.selected_events.size()));
+    }
 
-    core::FeatureSpec spec;
-    spec.events = report.selected_events;
-    candidate = core::train_model(split.train, spec);
-    report.candidate_r_squared = candidate.fit().r_squared;
+    {
+      const StageScope stage(report, RefreshStage::Fit, "refresh.fit");
+      core::FeatureSpec spec;
+      spec.events = report.selected_events;
+      candidate = core::train_model(split.train, spec);
+      report.candidate_r_squared = candidate.fit().r_squared;
+      obs::span_attr("r_squared", report.candidate_r_squared);
+    }
   } catch (const std::exception& e) {
     return finish(RefreshStatus::Failed,
                   std::string("retrain pipeline error: ") + e.what());
@@ -171,22 +258,29 @@ RefreshReport refresh_model(core::LayoutEpoch& epoch,
   // model file must pass (JSON round-trip re-validates coefficient counts
   // and finiteness) and must predict finite power on the holdout.
   std::vector<double> candidate_predicted;
-  try {
-    (void)core::model_from_json(core::model_to_json(candidate));
-    candidate_predicted = candidate.predict(split.holdout);
-  } catch (const std::exception& e) {
-    return finish(RefreshStatus::RejectedImplausible,
-                  std::string("plausibility gate: ") + e.what());
-  }
-  if (!finite_predictions(candidate_predicted)) {
-    return finish(RefreshStatus::RejectedImplausible,
-                  "plausibility gate: non-finite holdout prediction");
+  {
+    const StageScope stage(report, RefreshStage::Plausibility,
+                           "refresh.plausibility");
+    try {
+      (void)core::model_from_json(core::model_to_json(candidate));
+      candidate_predicted = candidate.predict(split.holdout);
+    } catch (const std::exception& e) {
+      return finish(RefreshStatus::RejectedImplausible,
+                    std::string("plausibility gate: ") + e.what());
+    }
+    if (!finite_predictions(candidate_predicted)) {
+      return finish(RefreshStatus::RejectedImplausible,
+                    "plausibility gate: non-finite holdout prediction");
+    }
   }
 
   // --- Gate 2: validation against the incumbent on the same holdout.
   try {
+    const StageScope stage(report, RefreshStage::Validation,
+                           "refresh.validation");
     const std::vector<double> actual = split.holdout.power();
     report.candidate_holdout_mape_pct = stats::mape(actual, candidate_predicted);
+    obs::span_attr("candidate_mape_pct", report.candidate_holdout_mape_pct);
     if (obs::enabled()) {
       refresh_metrics().candidate_mape.set_unguarded(
           report.candidate_holdout_mape_pct);
@@ -242,6 +336,7 @@ RefreshReport refresh_model(core::LayoutEpoch& epoch,
   // --- Publish through the generation guard. A fault here models the
   // classic slow-retrainer race: publishing against a generation the
   // refresher never actually observed.
+  const StageScope stage(report, RefreshStage::Publish, "refresh.publish");
   std::uint64_t expected = report.incumbent_generation;
   if (config.injector != nullptr &&
       config.injector->fires(fault::FaultKind::StaleLayoutPublish,
@@ -255,8 +350,32 @@ RefreshReport refresh_model(core::LayoutEpoch& epoch,
                   "epoch generation moved past " + std::to_string(expected));
   }
   report.published_generation = *published;
+  obs::span_attr("generation", *published);
   return finish(RefreshStatus::Published,
                 "published generation " + std::to_string(*published));
+}
+
+}  // namespace
+
+RefreshReport refresh_model(core::LayoutEpoch& epoch,
+                            const RefreshConfig& config) {
+  RefreshReport report;
+  {
+    // Root span: the six stage scopes above are its children, so a sampled
+    // refresh shows up in a trace as one tree with per-stage attribution.
+    PWX_SPAN("serve.refresh_model");
+    report = refresh_model_impl(epoch, config);
+    obs::span_attr("status", refresh_status_name(report.status));
+    obs::span_attr("stage", refresh_stage_name(report.stage));
+  }
+  // Flight-recorder trigger on any non-Published exit — after the root span
+  // closed, so the dump's ring contains the whole refresh tree including
+  // the breached stage's span.
+  if (!report.published() && obs::flight().armed()) {
+    obs::flight().trigger(std::string("refresh_") +
+                          std::string(refresh_status_name(report.status)));
+  }
+  return report;
 }
 
 }  // namespace pwx::serve

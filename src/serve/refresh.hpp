@@ -52,6 +52,24 @@ enum class RefreshStatus {
 
 std::string_view refresh_status_name(RefreshStatus status);
 
+/// The pipeline stage a refresh ended in. Every stage is timed into a
+/// `serve.refresh.stage_seconds.<stage>` histogram and wrapped in a child
+/// span of "serve.refresh_model" (refresh.<stage>), so stage latency is
+/// visible in plain metrics with tracing off and causally attributed with
+/// tracing on. On any non-Published exit, RefreshReport::stage names the
+/// breached stage.
+enum class RefreshStage {
+  None,          ///< exited before the first stage ran
+  Ingest,        ///< corpus ingest + holdout split
+  Select,        ///< event selection over the training split
+  Fit,           ///< Equation-1 fit of the candidate
+  Plausibility,  ///< structural round-trip + finite-prediction gate
+  Validation,    ///< holdout-MAPE gate vs ceiling and incumbent
+  Publish,       ///< generation-guarded epoch swap
+};
+
+std::string_view refresh_stage_name(RefreshStage stage);
+
 /// Everything refresh_model needs.
 struct RefreshConfig {
   /// Retraining corpus: recorded trace files (ingest_trace_files).
@@ -85,6 +103,9 @@ struct RefreshConfig {
 /// What happened, for logs, tests, and the supervisor's provenance trail.
 struct RefreshReport {
   RefreshStatus status = RefreshStatus::Failed;
+  /// Stage the pipeline exited in: the breached stage for rejections and
+  /// failures, Publish for a successful refresh.
+  RefreshStage stage = RefreshStage::None;
   std::uint64_t incumbent_generation = 0;  ///< generation observed at start
   std::uint64_t published_generation = 0;  ///< 0 unless status == Published
   std::size_t dataset_rows = 0;

@@ -51,6 +51,11 @@ public:
   /// Feed one guarded-path health observation (reference-free drift).
   void observe_health(bool invalid, bool clamped);
 
+  /// Close the partially filled drift window (shutdown path: the daemon's
+  /// final telemetry flush must include the last window's stats). Does not
+  /// launch a retrain.
+  std::optional<WindowStats> close_window() { return monitor_.close_window(); }
+
   /// Run the refresh pipeline now, regardless of drift state (operator
   /// override; also used by tests).
   RefreshReport refresh_now();

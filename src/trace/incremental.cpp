@@ -6,7 +6,11 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "trace/mapped.hpp"
 #include "trace/serialize.hpp"
 
@@ -40,6 +44,10 @@ IncrementalCampaign::IncrementalCampaign(std::string directory,
 }
 
 bool IncrementalCampaign::poll() {
+  // Root span of one watcher iteration: per-file ingest spans and the merge
+  // span inside merge_first_appearance become its children, so a traced
+  // poll renders as one tree in Perfetto.
+  PWX_SPAN("ingest.poll");
   stats_.polls += 1;
 
   // Scan: collect candidate files and their current (size, mtime).
@@ -91,6 +99,8 @@ bool IncrementalCampaign::poll() {
     state.size = seen.size;
     state.mtime_ns = seen.mtime;
     try {
+      PWX_SPAN("ingest.file");
+      obs::span_attr("path", path);
       if (options_.campaign.mmap) {
         const MappedTraceFile file = MappedTraceFile::open(
             path, {.verify_checksum = options_.campaign.verify_checksum});
@@ -107,6 +117,13 @@ bool IncrementalCampaign::poll() {
       state.error = e.what();
       state.profiles.clear();
       failed += 1;
+      // Trace-IO corruption is a flight-recorder trigger: the dump's span
+      // ring still holds the failed ingest.file span (it closed during
+      // unwinding) plus whatever led up to it.
+      PWX_LOG_WARN("incremental ingest quarantined '", path, "': ", e.what());
+      if (obs::flight().armed()) {
+        obs::flight().trigger("trace_io_corruption");
+      }
     }
     files_[path] = std::move(state);
     changed = true;

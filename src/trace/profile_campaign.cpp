@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "trace/mapped.hpp"
 #include "trace/serialize.hpp"
 
@@ -45,6 +47,10 @@ std::vector<PhaseProfile> ProfileCampaign::run() const {
     // Exceptions must not escape the OpenMP region; they are captured per
     // slot and rethrown deterministically afterwards.
     try {
+      // One root span per file: on OpenMP workers each lands in that
+      // thread's ring, so a traced campaign shows the real parallel shape.
+      PWX_SPAN("ingest.file");
+      obs::span_attr("path", paths_[i]);
       if (options_.mmap) {
         const MappedTraceFile file =
             MappedTraceFile::open(paths_[i], {.verify_checksum = options_.verify_checksum});
@@ -86,6 +92,7 @@ std::vector<PhaseProfile> ProfileCampaign::run() const {
 
 std::vector<PhaseProfile> merge_first_appearance(
     std::vector<std::vector<PhaseProfile>> per_file) {
+  PWX_SPAN("ingest.merge");
   std::vector<std::vector<PhaseProfile>> groups;
   std::unordered_map<std::string, std::size_t> group_index;
   for (auto& profiles : per_file) {

@@ -26,9 +26,20 @@
 //   --refresh           enable drift detection + guarded retrain + hot-swap
 //   --refresh-window <n>   drift window size in samples (default 32)
 //   --refresh-mape <pct>   per-window MAPE breach threshold (default 5)
+//   --trace-out <file>  record a structured span trace of the whole run and
+//                       write it as Chrome trace-event JSON (load the file
+//                       in Perfetto / chrome://tracing) on exit
+//   --trace-sample <n>  record 1-in-n traces while tracing (default 1)
+//   --flight-recorder <file>  arm the black-box flight recorder; recent
+//                       spans/logs/metric deltas are dumped to <file> on
+//                       guarded-estimate degradation, refresh rejection,
+//                       trace-IO corruption, SIGUSR1, or shutdown
 //
 // SIGINT/SIGTERM request a graceful shutdown: the in-flight poll finishes
-// and republishes, final metrics are flushed, and the daemon exits 0.
+// and republishes, the last partial drift window is closed, and a final
+// TelemetrySink JSONL flush goes to stderr (plus a flight-recorder dump
+// when armed) so no tail-of-run state is ever lost; the daemon exits 0.
+// SIGUSR1 triggers an on-demand flight-recorder dump without stopping.
 //
 // Exit codes: 0 ok (including signal-requested shutdown), 1 generic error,
 // 2 usage. Ingestion failures of individual files are not fatal: the daemon
@@ -44,6 +55,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -57,7 +69,12 @@
 #include "core/model.hpp"
 #include "core/selection.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "serve/supervisor.hpp"
 #include "trace/incremental.hpp"
 #include "workloads/registry.hpp"
@@ -72,6 +89,11 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void handle_stop_signal(int) { g_stop = 1; }
 
+/// Set by SIGUSR1: the poll loop triggers an on-demand flight dump.
+volatile std::sig_atomic_t g_dump = 0;
+
+void handle_dump_signal(int) { g_dump = 1; }
+
 void print_profiles(const std::vector<trace::PhaseProfile>& profiles) {
   TablePrinter table({"workload", "phase", "f [GHz]", "threads", "elapsed [s]",
                       "avg power [W]", "runs"});
@@ -83,11 +105,12 @@ void print_profiles(const std::vector<trace::PhaseProfile>& profiles) {
   table.print(std::cout);
 }
 
-/// Interruptible sleep: returns early when a stop signal arrives.
+/// Interruptible sleep: returns early when a stop or dump signal arrives.
 void sleep_interruptible(double seconds) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(seconds);
-  while (g_stop == 0 && std::chrono::steady_clock::now() < deadline) {
+  while (g_stop == 0 && g_dump == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(25));
   }
 }
@@ -155,6 +178,14 @@ public:
     return estimator_ != nullptr ? estimator_->generation() : 0;
   }
 
+  /// Shutdown path: close the partially filled drift window so its stats
+  /// reach the final telemetry flush instead of being lost.
+  void close_window() {
+    if (supervisor_ != nullptr) {
+      supervisor_->close_window();
+    }
+  }
+
 private:
   bool bootstrap(const trace::IncrementalCampaign& campaign) {
     std::vector<acquire::DataRow> rows;
@@ -211,7 +242,9 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s <directory> [--once] [--interval <s>] [--polls <n>]\n"
       "       [--no-mmap] [--no-verify] [--quiet] [--metrics]\n"
-      "       [--refresh] [--refresh-window <n>] [--refresh-mape <pct>]\n",
+      "       [--refresh] [--refresh-window <n>] [--refresh-mape <pct>]\n"
+      "       [--trace-out <file>] [--trace-sample <n>]\n"
+      "       [--flight-recorder <file>]\n",
       argv0);
   return 2;
 }
@@ -224,6 +257,9 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool metrics = false;
   bool refresh = false;
+  const char* trace_out = nullptr;
+  std::uint64_t trace_sample = 1;
+  const char* flight_path = nullptr;
   double interval_s = 1.0;
   std::uint64_t max_polls = 0;  // 0: unbounded
   trace::IncrementalCampaignOptions options;
@@ -253,6 +289,12 @@ int main(int argc, char** argv) {
       drift.window_size = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--refresh-mape") == 0 && i + 1 < argc) {
       drift.max_mape_pct = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
+      trace_sample = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--flight-recorder") == 0 && i + 1 < argc) {
+      flight_path = argv[++i];
     } else if (directory == nullptr && argv[i][0] != '-') {
       directory = argv[i];
     } else {
@@ -260,14 +302,26 @@ int main(int argc, char** argv) {
     }
   }
   if (directory == nullptr || interval_s < 0 || drift.window_size == 0 ||
-      drift.max_mape_pct <= 0) {
+      drift.max_mape_pct <= 0 || trace_sample == 0) {
     return usage(argv[0]);
   }
 
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGUSR1, handle_dump_signal);
 
   obs::set_enabled(true);
+  if (trace_out != nullptr) {
+    obs::TracerConfig tracer_config;
+    tracer_config.ring_capacity = 65536;
+    tracer_config.sample_every = trace_sample;
+    obs::tracer().start(tracer_config);
+  }
+  if (flight_path != nullptr) {
+    obs::FlightConfig flight_config;
+    flight_config.dump_path = flight_path;
+    obs::flight().arm(flight_config);
+  }
   try {
     trace::IncrementalCampaign campaign(directory, options);
     acquire::IngestOptions ingest;
@@ -279,6 +333,13 @@ int main(int argc, char** argv) {
     for (std::uint64_t i = 0; polls == 0 || i < polls; ++i) {
       if (i > 0) {
         sleep_interruptible(interval_s);
+      }
+      if (g_dump != 0) {
+        g_dump = 0;
+        if (obs::flight().armed()) {
+          obs::flight().trigger("sigusr1");
+          std::fprintf(stderr, "ingestd: SIGUSR1 flight dump written\n");
+        }
       }
       if (g_stop != 0) {
         std::fprintf(stderr, "ingestd: stop signal received, shutting down\n");
@@ -310,6 +371,37 @@ int main(int argc, char** argv) {
     if (refresh && refresh_loop.active()) {
       std::fprintf(stderr, "ingestd: final serving generation %llu\n",
                    static_cast<unsigned long long>(refresh_loop.generation()));
+    }
+    // Shutdown flush: close the partial drift window first so its stats are
+    // visible in the final JSONL snapshot, then emit that snapshot to stderr.
+    // This runs on every exit path (signal or poll budget) so the tail of the
+    // run is never lost.
+    refresh_loop.close_window();
+    {
+      obs::TelemetrySinkConfig sink_config;
+      sink_config.format = obs::ExportFormat::Jsonl;
+      obs::TelemetrySink sink(std::cerr, sink_config);
+      sink.flush(obs::monotonic_s());
+    }
+    if (obs::flight().armed()) {
+      obs::flight().trigger("shutdown");
+    }
+    if (trace_out != nullptr) {
+      const std::vector<obs::SpanRecord> spans = obs::tracer().drain();
+      const obs::TracerStats tstats = obs::tracer().stats();
+      obs::tracer().stop();
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "ingestd: failed to open trace file %s\n",
+                     trace_out);
+        return 1;
+      }
+      out << obs::chrome_trace_json(spans).dump(2) << '\n';
+      out.close();
+      std::fprintf(stderr,
+                   "ingestd: trace written to %s (%zu spans, %llu dropped)\n",
+                   trace_out, spans.size(),
+                   static_cast<unsigned long long>(tstats.spans_dropped));
     }
     if (metrics) {
       obs::print_table(obs::registry().snapshot(), std::cout);

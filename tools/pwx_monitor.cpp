@@ -12,6 +12,16 @@
 //               [--interval-s X] [--format jsonl|prometheus|table]
 //               [--faults SEED [--intensity X]] [--no-robust]
 //               [--log-json] [--spans] [--fleet N]
+//               [--trace] [--trace-replay FILE]
+//
+// With --trace a structured tracing session (obs/trace.hpp) runs for the
+// whole stream: every sample is wrapped in a "monitor.sample" root span,
+// drained span records stream to stdout as {"event":"span",...} JSONL
+// interleaved with the estimate lines, and a per-span latency attribution
+// table (total/self time per span name) lands on stderr at the end.
+// --trace-replay FILE skips the live stream entirely: it parses a recorded
+// span JSONL file (e.g. a --trace capture) and prints the same attribution
+// table to stdout, for offline "which stage owns the latency" analysis.
 //
 // With --fleet N the tool monitors N simulated nodes (each a different
 // physical part running the same workload) through one sharded
@@ -25,7 +35,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -48,6 +60,8 @@
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/engine.hpp"
 #include "workloads/registry.hpp"
 
@@ -58,9 +72,38 @@ int usage(const char* argv0) {
                "usage: %s [--workload NAME] [--threads N] [--samples N]\n"
                "          [--interval-s X] [--format jsonl|prometheus|table]\n"
                "          [--faults SEED [--intensity X]] [--no-robust]\n"
-               "          [--log-json] [--spans] [--fleet N]\n",
+               "          [--log-json] [--spans] [--fleet N]\n"
+               "          [--trace] [--trace-replay FILE]\n",
                argv0);
   return 2;
+}
+
+// Offline replay: parse a recorded span JSONL stream and print the latency
+// attribution table. The input may interleave non-span events (metrics
+// lines from a --trace capture); the parser skips them.
+int run_trace_replay(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n", path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::vector<pwx::obs::SpanRecord> records =
+      pwx::obs::parse_span_jsonl(text.str());
+  std::fprintf(stderr, "replayed %zu spans from %s\n", records.size(), path);
+  pwx::obs::print_attribution_table(pwx::obs::attribute_latency(records),
+                                    std::cout);
+  return 0;
+}
+
+// Stream freshly drained span records as JSONL and keep them for the final
+// attribution table.
+void drain_spans(std::vector<pwx::obs::SpanRecord>& all) {
+  for (pwx::obs::SpanRecord& record : pwx::obs::tracer().drain()) {
+    std::cout << pwx::obs::span_to_jsonl_line(record) << "\n";
+    all.push_back(std::move(record));
+  }
 }
 
 // Fleet mode: N simulated nodes through one FleetEstimator, one batch
@@ -154,6 +197,8 @@ int main(int argc, char** argv) {
   double intensity = 1.0;
   bool robust = true;
   bool spans = false;
+  bool trace = false;
+  const char* trace_replay = nullptr;
   std::size_t fleet_nodes = 0;  // 0 = single-node mode
 
   for (int i = 1; i < argc; ++i) {
@@ -194,6 +239,10 @@ int main(int argc, char** argv) {
       set_log_format(LogFormat::Json);
     } else if (arg == "--spans") {
       spans = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--trace-replay") {
+      trace_replay = next();
     } else if (arg == "--fleet") {
       fleet_nodes = std::strtoul(next(), nullptr, 10);
     } else {
@@ -202,7 +251,17 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (trace_replay != nullptr) {
+      return run_trace_replay(trace_replay);
+    }
+
     obs::set_enabled(true);
+    std::vector<obs::SpanRecord> recorded;
+    if (trace) {
+      obs::TracerConfig tracer_config;
+      tracer_config.ring_capacity = 8192;
+      obs::tracer().start(tracer_config);
+    }
 
     const auto workload = workloads::find_workload(workload_name);
     if (!workload) {
@@ -228,8 +287,15 @@ int main(int argc, char** argv) {
       sink_config.format = format;
       sink_config.include_spans = spans;
       obs::TelemetrySink sink(std::cout, sink_config);
-      return run_fleet(std::move(model), fleet_nodes, *workload, threads,
-                       max_samples, sink);
+      const int rc = run_fleet(std::move(model), fleet_nodes, *workload,
+                               threads, max_samples, sink);
+      if (trace) {
+        drain_spans(recorded);
+        obs::tracer().stop();
+        obs::print_attribution_table(obs::attribute_latency(recorded),
+                                     std::cerr);
+      }
+      return rc;
     }
 
     core::OnlineEstimator estimator(std::move(model), /*smoothing=*/0.3);
@@ -267,11 +333,21 @@ int main(int argc, char** argv) {
     double stream_t = 0.0;
     std::size_t produced = 0;
     while (max_samples == 0 || produced < max_samples) {
-      const auto sample = source->read();
+      std::optional<core::CounterSample> sample;
+      double estimate = 0.0;
+      {
+        // Root span per sample: the guarded estimate (and any health
+        // transitions it causes) become its children in the trace.
+        PWX_SPAN("monitor.sample");
+        sample = source->read();
+        if (sample.has_value()) {
+          estimate = estimator.estimate_guarded(*sample);
+          obs::span_attr("watts", estimate);
+        }
+      }
       if (!sample.has_value()) {
         break;
       }
-      const double estimate = estimator.estimate_guarded(*sample);
       stream_t += sample->elapsed_s;
       produced += 1;
 
@@ -286,9 +362,18 @@ int main(int argc, char** argv) {
             std::string(core::health_name(hardened->health()));
       }
       std::cout << line.dump(-1) << "\n";
+      if (trace) {
+        drain_spans(recorded);
+      }
       sink.maybe_flush(stream_t);
     }
     sink.flush(stream_t);
+    if (trace) {
+      drain_spans(recorded);
+      obs::tracer().stop();
+      obs::print_attribution_table(obs::attribute_latency(recorded),
+                                   std::cerr);
+    }
 
     log_message(LogLevel::Info, "stream finished",
                 {{"samples", std::to_string(produced)},
