@@ -21,6 +21,8 @@
 #include "core/estimator.hpp"
 #include "core/fleet.hpp"
 #include "core/model.hpp"
+#include "fleet/delta.hpp"
+#include "fleet/tree.hpp"
 #include "obs/metrics.hpp"
 
 namespace {
@@ -126,6 +128,188 @@ void BM_FleetSnapshot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FleetSnapshot)->Unit(benchmark::kMillisecond);
+
+// Sparse fleets: a large interned namespace (every node ever provisioned)
+// with a small *active* set (nodes currently reporting). Snapshot cost must
+// scale with the active set, not the interned namespace — the checked-in
+// baselines for BM_FleetSnapshotSparse were captured on the pre-PR
+// per-shard-mutex FleetEstimator, whose snapshot walked every interned-but-
+// never-reported node in the stale prefix. The fleets are cached across
+// benchmark calibration reruns: interning 10M names is setup, not the
+// measured operation.
+core::FleetEstimator& sparse_fleet(std::size_t interned, std::size_t active) {
+  struct Entry {
+    std::size_t interned;
+    std::size_t active;
+    std::unique_ptr<core::FleetEstimator> fleet;
+  };
+  static std::vector<Entry> cache;
+  for (Entry& e : cache) {
+    if (e.interned == interned && e.active == active) {
+      return *e.fleet;
+    }
+  }
+  auto fleet = std::make_unique<core::FleetEstimator>(
+      fleet_model(), /*smoothing=*/0.0, /*staleness_horizon_s=*/1e12);
+  std::vector<core::NodeSample> batch(active);
+  std::vector<core::NodeId> ids;
+  ids.reserve(interned);
+  for (std::size_t n = 0; n < interned; ++n) {
+    ids.push_back(fleet->intern("node" + std::to_string(n)));
+  }
+  for (std::size_t n = 0; n < active; ++n) {
+    batch[n].node = ids[n];
+    batch[n].now_s = 1.0;
+    fleet->layout().to_dense_guarded(sample_for_node(n), batch[n].sample);
+  }
+  fleet->ingest_batch(batch);
+  cache.push_back(Entry{interned, active, std::move(fleet)});
+  return *cache.back().fleet;
+}
+
+// N interned nodes, 10k of them active and fresh: the aggregation cost one
+// snapshot pays over a mostly-quiet namespace.
+void BM_FleetSnapshotSparse(benchmark::State& state) {
+  obs::set_enabled(false);
+  core::FleetEstimator& fleet =
+      sparse_fleet(static_cast<std::size_t>(state.range(0)), 10000);
+  for (auto _ : state) {
+    const core::FleetSnapshot snap = fleet.snapshot(2.0);
+    benchmark::DoNotOptimize(snap.total_watts);
+  }
+}
+BENCHMARK(BM_FleetSnapshotSparse)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+// The active-scaling pair (bench_fleet_tree_gate holds the Interned10M
+// variant within 2x of its sibling): identical 10k-node active sets, one
+// with nothing else interned, one buried in a 10M-node namespace.
+void BM_FleetSnapshotActive(benchmark::State& state) {
+  obs::set_enabled(false);
+  core::FleetEstimator& fleet = sparse_fleet(10000, 10000);
+  for (auto _ : state) {
+    const core::FleetSnapshot snap = fleet.snapshot(2.0);
+    benchmark::DoNotOptimize(snap.total_watts);
+  }
+}
+BENCHMARK(BM_FleetSnapshotActive);
+
+void BM_FleetSnapshotActiveInterned10M(benchmark::State& state) {
+  obs::set_enabled(false);
+  core::FleetEstimator& fleet = sparse_fleet(10000000, 10000);
+  for (auto _ : state) {
+    const core::FleetSnapshot snap = fleet.snapshot(2.0);
+    benchmark::DoNotOptimize(snap.total_watts);
+  }
+}
+BENCHMARK(BM_FleetSnapshotActiveInterned10M);
+
+// One telemetry round through the two-level tree (4 groups x 4 shards =
+// the same 16 global shards BM_FleetIngest's flat estimator uses): the
+// group counting sort plus per-group batch ingest. Bit-identical output to
+// the flat path, so the delta vs BM_FleetIngest IS the tree overhead.
+void BM_FleetTreeIngest(benchmark::State& state) {
+  obs::set_enabled(false);
+  const auto node_count = static_cast<std::size_t>(state.range(0));
+  fleet::TreeOptions options;
+  options.group_count = 4;
+  options.shards_per_group = 4;
+  fleet::FleetTree tree(fleet_model(), /*smoothing=*/0.2,
+                        /*staleness_horizon_s=*/1e12, options);
+  std::vector<fleet::TreeSample> batch(node_count);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    const fleet::TreeNodeId id = tree.intern("node" + std::to_string(n));
+    batch[n].group = id.group;
+    batch[n].sample.node = id.local;
+    batch[n].sample.now_s = 0.0;
+    tree.layout().to_dense_guarded(sample_for_node(n), batch[n].sample.sample);
+  }
+  tree.ingest_batch(batch);  // registration round outside timing
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1.0;
+    for (fleet::TreeSample& ts : batch) {
+      ts.sample.now_s = now;
+    }
+    benchmark::DoNotOptimize(tree.ingest_batch(batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(node_count));
+}
+BENCHMARK(BM_FleetTreeIngest)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// Shard-delta wire format: what a leaf daemon pays per publication round
+// (delta extraction + encode), what the aggregator pays per received frame
+// (decode + full validation), and a 16-leaf merge. 64 shards ~ one frame of
+// 4.6KB.
+core::FleetEstimator& delta_fleet() {
+  struct Holder {
+    std::unique_ptr<core::FleetEstimator> fleet;
+  };
+  static Holder holder = [] {
+    core::FleetOptions options;
+    options.shard_count = 64;
+    auto fleet = std::make_unique<core::FleetEstimator>(
+        fleet_model(), /*smoothing=*/0.0, /*staleness_horizon_s=*/1e12,
+        options);
+    std::vector<core::NodeSample> batch(10000);
+    for (std::size_t n = 0; n < batch.size(); ++n) {
+      batch[n].node = fleet->intern("node" + std::to_string(n));
+      batch[n].now_s = 1.0;
+      fleet->layout().to_dense_guarded(sample_for_node(n), batch[n].sample);
+    }
+    fleet->ingest_batch(batch);
+    return Holder{std::move(fleet)};
+  }();
+  return *holder.fleet;
+}
+
+void BM_DeltaEncode(benchmark::State& state) {
+  obs::set_enabled(false);
+  core::FleetEstimator& fleet = delta_fleet();
+  std::uint64_t sequence = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string frame =
+        fleet::encode_delta(fleet::make_delta(fleet, 0, 16, 2.0, ++sequence));
+    bytes += frame.size();
+    benchmark::DoNotOptimize(frame.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_DeltaEncode);
+
+void BM_DeltaDecode(benchmark::State& state) {
+  obs::set_enabled(false);
+  const std::string frame =
+      fleet::encode_delta(fleet::make_delta(delta_fleet(), 0, 16, 2.0, 1));
+  for (auto _ : state) {
+    const fleet::FleetDelta delta = fleet::decode_delta(frame);
+    benchmark::DoNotOptimize(delta.shards.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_DeltaDecode);
+
+void BM_DeltaMerge(benchmark::State& state) {
+  obs::set_enabled(false);
+  std::vector<fleet::FleetDelta> deltas;
+  for (std::uint32_t leaf = 0; leaf < 16; ++leaf) {
+    deltas.push_back(fleet::make_delta(delta_fleet(), leaf, 16, 2.0, 1));
+  }
+  for (auto _ : state) {
+    fleet::DeltaMerger merger;
+    for (const fleet::FleetDelta& delta : deltas) {
+      merger.add(delta);
+    }
+    const core::FleetSnapshot snap = merger.merge();
+    benchmark::DoNotOptimize(snap.total_watts);
+  }
+}
+BENCHMARK(BM_DeltaMerge);
 
 // The dense single-sample path (what one ingest costs after the batch
 // machinery): a coefficient dot product, no map traffic.

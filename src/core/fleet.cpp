@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -12,16 +13,64 @@ namespace pwx::core {
 
 namespace {
 
-std::uint64_t fnv1a(std::string_view s) {
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (const char c : s) {
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFFu;
+    hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t FleetEstimator::name_hash(std::string_view node) {
+  std::uint64_t hash = kFnvOffset;
+  for (const char c : node) {
     hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
+    hash *= kFnvPrime;
   }
   return hash;
 }
 
-}  // namespace
+void fold_shard_delta(FleetSnapshot& snap, const ShardDeltaRecord& rec) {
+  snap.nodes_reporting += rec.reporting;
+  snap.nodes_stale += rec.stale;
+  snap.nodes_degraded += rec.degraded;
+  snap.nodes_failed += rec.failed;
+  snap.nodes_active += rec.active;
+  snap.nodes_interned += rec.interned;
+  if (rec.reporting > 0) {
+    snap.total_watts += rec.fresh_sum;
+    if (std::isnan(snap.min_node_watts)) {
+      snap.min_node_watts = rec.min_watts;
+      snap.max_node_watts = rec.max_watts;
+    } else {
+      snap.min_node_watts = std::min(snap.min_node_watts, rec.min_watts);
+      snap.max_node_watts = std::max(snap.max_node_watts, rec.max_watts);
+    }
+  }
+}
+
+std::uint64_t snapshot_digest(const FleetSnapshot& snap) {
+  const auto bits = [](double d) {
+    std::uint64_t b = 0;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+  };
+  std::uint64_t hash = kFnvOffset;
+  fnv_mix(hash, bits(snap.total_watts));
+  fnv_mix(hash, snap.nodes_reporting);
+  fnv_mix(hash, snap.nodes_stale);
+  fnv_mix(hash, snap.nodes_degraded);
+  fnv_mix(hash, snap.nodes_failed);
+  fnv_mix(hash, bits(snap.max_node_watts));
+  fnv_mix(hash, bits(snap.min_node_watts));
+  fnv_mix(hash, snap.nodes_active);
+  fnv_mix(hash, snap.nodes_interned);
+  return hash;
+}
 
 FleetEstimator::FleetEstimator(PowerModel node_model, double smoothing,
                                double staleness_horizon_s, FleetOptions options)
@@ -60,6 +109,12 @@ FleetEstimator::FleetEstimator(std::shared_ptr<LayoutEpoch> epoch, double smooth
   hash_slots_.assign(64, 0);
 }
 
+FleetEstimator::~FleetEstimator() {
+  for (std::atomic<std::atomic<std::uint64_t>*>& chunk : loc_chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
+}
+
 std::shared_ptr<const PublishedModel> FleetEstimator::publication() const {
   return epoch_ != nullptr ? epoch_->current() : initial_;
 }
@@ -75,11 +130,31 @@ const PublishedModel& FleetEstimator::acquire_publication(Shard& shard) {
   return *shard.pub;
 }
 
+void FleetEstimator::store_loc(NodeId id, Loc loc) {
+  const std::size_t c = id >> kLocChunkBits;
+  PWX_REQUIRE(c < kLocMaxChunks, "fleet node capacity exhausted");
+  const std::uint64_t packed =
+      (std::uint64_t{loc.shard} << 32) | std::uint64_t{loc.slot};
+  std::atomic<std::uint64_t>* chunk =
+      loc_chunks_[c].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    // Fill the entry before publishing the chunk pointer; readers also
+    // synchronize through node_count_, but this keeps the chunk internally
+    // consistent on its own.
+    chunk = new std::atomic<std::uint64_t>[kLocChunkSize]();
+    chunk[id & (kLocChunkSize - 1)].store(packed, std::memory_order_relaxed);
+    loc_chunks_[c].store(chunk, std::memory_order_release);
+  } else {
+    chunk[id & (kLocChunkSize - 1)].store(packed, std::memory_order_relaxed);
+  }
+}
+
 NodeId FleetEstimator::intern(std::string_view node) {
   PWX_REQUIRE(!node.empty(), "node name must not be empty");
+  const std::uint64_t hash = name_hash(node);
   std::lock_guard lock(intern_mutex_);
   std::size_t mask = hash_slots_.size() - 1;
-  std::size_t i = fnv1a(node) & mask;
+  std::size_t i = hash & mask;
   while (hash_slots_[i] != 0) {
     const NodeId candidate = hash_slots_[i] - 1;
     if (names_[candidate] == node) {
@@ -96,7 +171,7 @@ NodeId FleetEstimator::intern(std::string_view node) {
     std::vector<std::uint32_t> grown(hash_slots_.size() * 2, 0);
     mask = grown.size() - 1;
     for (NodeId n = 0; n < names_.size(); ++n) {
-      std::size_t j = fnv1a(names_[n]) & mask;
+      std::size_t j = name_hash(names_[n]) & mask;
       while (grown[j] != 0) {
         j = (j + 1) & mask;
       }
@@ -115,31 +190,34 @@ NodeId FleetEstimator::intern(std::string_view node) {
         "seconds since this node last reported (-1 = never)");
   }
 
-  Shard& shard = *shards_[shard_of(id)];
-  std::lock_guard shard_lock(shard.mutex);
-  const auto slot = static_cast<std::uint32_t>(shard.nodes.size());
-  shard.nodes.emplace_back();
-  NodeState& state = shard.nodes.back();
-  state.name = &names_[id];
-  state.staleness_gauge = gauge;
-  // Never-reported nodes (last_seen = -1) are the oldest: head insert keeps
-  // the last-seen list sorted.
-  state.seen_prev = kNil;
-  state.seen_next = shard.seen_head;
-  if (shard.seen_head != kNil) {
-    shard.nodes[shard.seen_head].seen_prev = slot;
+  // Shard by name hash, not intern order: every estimator (or leaf process)
+  // that agrees on a shard count places this node identically.
+  const auto shard_index =
+      static_cast<std::uint32_t>(hash % options_.shard_count);
+  Shard& shard = *shards_[shard_index];
+  {
+    std::lock_guard shard_lock(shard.mutex);
+    const auto slot = static_cast<std::uint32_t>(shard.nodes.size());
+    shard.nodes.emplace_back();
+    NodeState& state = shard.nodes.back();
+    state.id = id;
+    state.name = &names_[id];
+    state.staleness_gauge = gauge;
+    // Never-reported nodes stay off the seen list: they cost one counter in
+    // the shard aggregate, not a list entry, so snapshot/repair walks scale
+    // with the active set.
+    store_loc(id, Loc{shard_index, slot});
+    publish_aggregate(shard);
   }
-  shard.seen_head = slot;
-  if (shard.seen_tail == kNil) {
-    shard.seen_tail = slot;
-  }
+  node_count_.store(id + 1, std::memory_order_release);
   return id;
 }
 
 std::optional<NodeId> FleetEstimator::find(std::string_view node) const {
+  const std::uint64_t hash = name_hash(node);
   std::lock_guard lock(intern_mutex_);
   const std::size_t mask = hash_slots_.size() - 1;
-  std::size_t i = fnv1a(node) & mask;
+  std::size_t i = hash & mask;
   while (hash_slots_[i] != 0) {
     const NodeId candidate = hash_slots_[i] - 1;
     if (names_[candidate] == node) {
@@ -157,8 +235,7 @@ const std::string& FleetEstimator::node_name(NodeId node) const {
 }
 
 std::size_t FleetEstimator::node_count() const {
-  std::lock_guard lock(intern_mutex_);
-  return names_.size();
+  return node_count_.load(std::memory_order_acquire);
 }
 
 void FleetEstimator::detach_seen(Shard& shard, std::uint32_t slot) {
@@ -208,10 +285,14 @@ void FleetEstimator::attach_seen_sorted(Shard& shard, std::uint32_t slot) {
 }
 
 void FleetEstimator::repair_minmax(const Shard& shard) const {
+  // Walk the seen list (active nodes only): a never-reported node can hold
+  // no extremum, so repair cost scales with the active set, not the
+  // interned namespace.
   shard.min_slot = shard.max_slot = kNil;
-  for (std::uint32_t slot = 0; slot < shard.nodes.size(); ++slot) {
+  for (std::uint32_t slot = shard.seen_head; slot != kNil;
+       slot = shard.nodes[slot].seen_next) {
     const NodeState& state = shard.nodes[slot];
-    if (state.last_seen_s < 0.0 || state.guard.health == HealthState::Failed) {
+    if (state.guard.health == HealthState::Failed) {
       continue;
     }
     const double est = state.last_estimate;
@@ -227,9 +308,39 @@ void FleetEstimator::repair_minmax(const Shard& shard) const {
   shard.minmax_stale = false;
 }
 
-double FleetEstimator::ingest_locked(Shard& shard, NodeId id,
+void FleetEstimator::publish_aggregate(const Shard& shard) const {
+  // Seqlock write: always under the shard mutex, so writes never race each
+  // other. Odd seq opens the window, payload stores are relaxed atomics
+  // (no torn reads possible), even seq closes it.
+  PublishedAggregate& a = shard.agg;
+  const std::uint64_t seq = a.seq.load(std::memory_order_relaxed);
+  a.seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  a.sum_watts.store(shard.sum_watts, std::memory_order_relaxed);
+  a.min_watts.store(shard.min_watts, std::memory_order_relaxed);
+  a.max_watts.store(shard.max_watts, std::memory_order_relaxed);
+  a.oldest_seen_s.store(shard.seen_head != kNil
+                            ? shard.nodes[shard.seen_head].last_seen_s
+                            : std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+  a.included.store(shard.included, std::memory_order_relaxed);
+  a.degraded.store(shard.degraded, std::memory_order_relaxed);
+  a.failed.store(shard.failed, std::memory_order_relaxed);
+  a.active.store(shard.active, std::memory_order_relaxed);
+  a.interned.store(shard.nodes.size(), std::memory_order_relaxed);
+  std::uint32_t flags = 0;
+  if (shard.min_slot != kNil) {
+    flags |= kMinMaxValid;
+  }
+  if (shard.minmax_stale) {
+    flags |= kMinMaxStale;
+  }
+  a.flags.store(flags, std::memory_order_relaxed);
+  a.seq.store(seq + 2, std::memory_order_release);
+}
+
+double FleetEstimator::ingest_locked(Shard& shard, std::uint32_t slot,
                                      const DenseSample& sample, double now_s) {
-  const auto slot = static_cast<std::uint32_t>(slot_of(id));
   NodeState& state = shard.nodes[slot];
   PWX_REQUIRE(now_s >= state.last_seen_s, "fleet time went backwards for node '",
               *state.name, "'");
@@ -301,18 +412,22 @@ double FleetEstimator::ingest_locked(Shard& shard, NodeId id,
   }
 
   state.last_seen_s = now_s;
-  detach_seen(shard, slot);
+  if (was_reported) {
+    detach_seen(shard, slot);
+  } else {
+    shard.active += 1;  // first report: the node joins the active set
+  }
   attach_seen_sorted(shard, slot);
   return estimate;
 }
 
-double FleetEstimator::ingest_sample_locked(Shard& shard, NodeId id,
+double FleetEstimator::ingest_sample_locked(Shard& shard, std::uint32_t slot,
                                             const DenseSample& sample,
                                             std::uint64_t sample_generation,
                                             double now_s) {
   const PublishedModel& pub = acquire_publication(shard);
   if (sample_generation == 0 || sample_generation == pub.generation) {
-    return ingest_locked(shard, id, sample, now_s);
+    return ingest_locked(shard, slot, sample, now_s);
   }
   // Cross-generation sample: it was built against a layout that a hot swap
   // just replaced. Remap its counts by preset through the layout it was
@@ -344,16 +459,20 @@ double FleetEstimator::ingest_sample_locked(Shard& shard, NodeId id,
         "cross-generation samples remapped onto a newly swapped layout");
     remaps.add_unguarded(1);
   }
-  return ingest_locked(shard, id, out, now_s);
+  return ingest_locked(shard, slot, out, now_s);
 }
 
 double FleetEstimator::ingest(NodeId node, const DenseSample& sample,
                               double now_s) {
-  Shard& shard = *shards_[shard_of(node)];
+  PWX_REQUIRE(node < node_count_.load(std::memory_order_acquire),
+              "unknown node id ", node);
+  const Loc loc = loc_of(node);
+  Shard& shard = *shards_[loc.shard];
   std::lock_guard lock(shard.mutex);
-  PWX_REQUIRE(slot_of(node) < shard.nodes.size(), "unknown node id ", node);
   acquire_publication(shard);
-  return ingest_locked(shard, node, sample, now_s);
+  const double estimate = ingest_locked(shard, loc.slot, sample, now_s);
+  publish_aggregate(shard);
+  return estimate;
 }
 
 double FleetEstimator::ingest(NodeId node, const CounterSample& sample,
@@ -364,10 +483,15 @@ double FleetEstimator::ingest(NodeId node, const CounterSample& sample,
   // instead of misreading slots.
   const std::shared_ptr<const PublishedModel> pub = publication();
   pub->layout.to_dense_guarded(sample, scratch);
-  Shard& shard = *shards_[shard_of(node)];
+  PWX_REQUIRE(node < node_count_.load(std::memory_order_acquire),
+              "unknown node id ", node);
+  const Loc loc = loc_of(node);
+  Shard& shard = *shards_[loc.shard];
   std::lock_guard lock(shard.mutex);
-  PWX_REQUIRE(slot_of(node) < shard.nodes.size(), "unknown node id ", node);
-  return ingest_sample_locked(shard, node, scratch, pub->generation, now_s);
+  const double estimate =
+      ingest_sample_locked(shard, loc.slot, scratch, pub->generation, now_s);
+  publish_aggregate(shard);
+  return estimate;
 }
 
 double FleetEstimator::ingest(const std::string& node, const CounterSample& sample,
@@ -379,38 +503,65 @@ std::size_t FleetEstimator::ingest_batch(std::span<const NodeSample> batch) {
   if (batch.empty()) {
     return 0;
   }
+  std::vector<const NodeSample*> samples(batch.size());
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    samples[k] = &batch[k];
+  }
+  return ingest_batch_impl(samples);
+}
+
+std::size_t FleetEstimator::ingest_batch(
+    std::span<const NodeSample* const> batch) {
+  return ingest_batch_impl(batch);
+}
+
+std::size_t FleetEstimator::ingest_batch_impl(
+    std::span<const NodeSample* const> samples) {
+  const std::size_t count = samples.size();
+  if (count == 0) {
+    return 0;
+  }
   PWX_SPAN("fleet.ingest_batch");
-  obs::span_attr("samples", static_cast<std::uint64_t>(batch.size()));
+  obs::span_attr("samples", static_cast<std::uint64_t>(count));
   const std::size_t shard_count = options_.shard_count;
-  {
-    // Validate handles up front so no error is raised inside the (possibly
-    // parallel) shard loop.
-    std::lock_guard lock(intern_mutex_);
-    const std::size_t known = names_.size();
-    for (const NodeSample& s : batch) {
-      PWX_REQUIRE(s.node < known, "unknown node id ", s.node);
-    }
+  const auto sample_at = [&](std::size_t k) -> const NodeSample& {
+    return *samples[k];
+  };
+
+  // Validate handles and resolve (shard, slot) up front — lock-free against
+  // the intern index — so no error is raised inside the (possibly parallel)
+  // shard loop and each sample pays one index lookup.
+  const std::uint32_t known = node_count_.load(std::memory_order_acquire);
+  std::vector<std::uint64_t> locs(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    PWX_REQUIRE(samples[k] != nullptr, "null sample in batch");
+    const NodeSample& s = sample_at(k);
+    PWX_REQUIRE(s.node < known, "unknown node id ", s.node);
+    const Loc loc = loc_of(s.node);
+    locs[k] = (std::uint64_t{loc.shard} << 32) | std::uint64_t{loc.slot};
   }
 
   // Stable counting sort by shard: each shard's group preserves batch order,
   // so repeated samples of one node apply in sequence.
   std::vector<std::uint32_t> offsets(shard_count + 1, 0);
-  for (const NodeSample& s : batch) {
-    offsets[shard_of(s.node) + 1] += 1;
+  for (std::size_t k = 0; k < count; ++k) {
+    offsets[(locs[k] >> 32) + 1] += 1;
   }
   for (std::size_t s = 1; s <= shard_count; ++s) {
     offsets[s] += offsets[s - 1];
   }
-  std::vector<std::uint32_t> order(batch.size());
+  std::vector<std::uint32_t> order(count);
   {
     std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (std::uint32_t i = 0; i < batch.size(); ++i) {
-      order[cursor[shard_of(batch[i].node)]++] = i;
+    for (std::uint32_t k = 0; k < count; ++k) {
+      order[cursor[locs[k] >> 32]++] = k;
     }
   }
 
   // One lock acquisition per shard; shards are independent, so the parallel
-  // path is bit-identical to the serial one.
+  // path is bit-identical to the serial one. The shard's aggregate is
+  // re-published once per group, even when the group throws mid-way — the
+  // partial application is visible exactly like a partial serial loop.
   std::vector<std::exception_ptr> errors(shard_count);
   const auto n_shards = static_cast<std::ptrdiff_t>(shard_count);
 #ifdef _OPENMP
@@ -426,125 +577,188 @@ std::size_t FleetEstimator::ingest_batch(std::span<const NodeSample> batch) {
     std::lock_guard lock(shard.mutex);
     try {
       for (std::uint32_t k = begin; k < end; ++k) {
-        const NodeSample& ns = batch[order[k]];
-        ingest_sample_locked(shard, ns.node, ns.sample, ns.generation, ns.now_s);
+        const NodeSample& ns = sample_at(order[k]);
+        const auto slot = static_cast<std::uint32_t>(locs[order[k]]);
+        ingest_sample_locked(shard, slot, ns.sample, ns.generation, ns.now_s);
       }
     } catch (...) {
       errors[static_cast<std::size_t>(s)] = std::current_exception();
     }
+    publish_aggregate(shard);
   }
   for (const std::exception_ptr& error : errors) {
     if (error) {
       std::rethrow_exception(error);
     }
   }
-  return batch.size();
+  return count;
+}
+
+ShardDeltaRecord FleetEstimator::shard_delta_locked(const Shard& shard,
+                                                    double now_s) const {
+  if (shard.minmax_stale) {
+    repair_minmax(shard);
+    publish_aggregate(shard);
+  }
+
+  // Stale prefix: the last-seen list is sorted and holds only active nodes,
+  // so the stale-active set at `now_s` is exactly a prefix and the walk is
+  // O(stale active), independent of the interned namespace.
+  std::size_t stale_active = 0;
+  std::size_t stale_included = 0;
+  std::size_t stale_degraded = 0;
+  std::size_t stale_failed = 0;
+  double stale_sum = 0.0;
+  bool extremum_stale = false;
+  for (std::uint32_t slot = shard.seen_head; slot != kNil;
+       slot = shard.nodes[slot].seen_next) {
+    const NodeState& state = shard.nodes[slot];
+    if (!stale_at(state, now_s)) {
+      break;
+    }
+    stale_active += 1;
+    if (state.guard.health == HealthState::Failed) {
+      stale_failed += 1;
+      continue;
+    }
+    stale_included += 1;
+    if (state.guard.health == HealthState::Degraded) {
+      stale_degraded += 1;
+    }
+    stale_sum += state.last_estimate;
+    if (shard.min_slot != kNil && (state.last_estimate <= shard.min_watts ||
+                                   state.last_estimate >= shard.max_watts)) {
+      extremum_stale = true;
+    }
+  }
+
+  ShardDeltaRecord rec;
+  rec.active = shard.active;
+  rec.interned = shard.nodes.size();
+  rec.stale = (rec.interned - rec.active) + stale_active;
+  rec.reporting = shard.included - stale_included;
+  rec.degraded = shard.degraded - stale_degraded;
+  rec.failed = shard.failed - stale_failed;
+  if (rec.reporting > 0) {
+    rec.fresh_sum =
+        stale_included > 0 ? shard.sum_watts - stale_sum : shard.sum_watts;
+    double shard_min = shard.min_watts;
+    double shard_max = shard.max_watts;
+    if (extremum_stale) {
+      // A stale node may hold the shard extremum: rescan the fresh suffix of
+      // the seen list (still O(active)).
+      bool first = true;
+      for (std::uint32_t slot = shard.seen_head; slot != kNil;
+           slot = shard.nodes[slot].seen_next) {
+        const NodeState& state = shard.nodes[slot];
+        if (stale_at(state, now_s) ||
+            state.guard.health == HealthState::Failed) {
+          continue;
+        }
+        if (first || state.last_estimate < shard_min) {
+          shard_min = state.last_estimate;
+        }
+        if (first || state.last_estimate > shard_max) {
+          shard_max = state.last_estimate;
+        }
+        first = false;
+      }
+    }
+    rec.min_watts = shard_min;
+    rec.max_watts = shard_max;
+  }
+  return rec;
+}
+
+ShardDeltaRecord FleetEstimator::shard_delta(const Shard& shard,
+                                             double now_s) const {
+  // Lock-free fast path: a seqlock-consistent read of the published
+  // aggregate answers when every active node is fresh at `now_s` and no
+  // min/max repair is pending. A few failed attempts (concurrent ingest
+  // republishing) fall back to the mutex rather than spinning.
+  const PublishedAggregate& a = shard.agg;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::uint64_t s1 = a.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) {
+      continue;
+    }
+    ShardDeltaRecord rec;
+    rec.fresh_sum = a.sum_watts.load(std::memory_order_relaxed);
+    const double min_watts = a.min_watts.load(std::memory_order_relaxed);
+    const double max_watts = a.max_watts.load(std::memory_order_relaxed);
+    const double oldest = a.oldest_seen_s.load(std::memory_order_relaxed);
+    rec.reporting = a.included.load(std::memory_order_relaxed);
+    rec.degraded = a.degraded.load(std::memory_order_relaxed);
+    rec.failed = a.failed.load(std::memory_order_relaxed);
+    rec.active = a.active.load(std::memory_order_relaxed);
+    rec.interned = a.interned.load(std::memory_order_relaxed);
+    const std::uint32_t flags = a.flags.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (a.seq.load(std::memory_order_relaxed) != s1) {
+      continue;  // torn by a concurrent publish: retry
+    }
+    if ((flags & kMinMaxStale) != 0) {
+      break;  // pending lazy repair: needs the mutex
+    }
+    if (rec.active > 0 && now_s - oldest > staleness_horizon_s_) {
+      break;  // a stale active node: needs the prefix walk
+    }
+    rec.stale = rec.interned - rec.active;  // never-reported interned nodes
+    if (rec.reporting > 0 && (flags & kMinMaxValid) != 0) {
+      rec.min_watts = min_watts;
+      rec.max_watts = max_watts;
+    } else {
+      // With nothing reporting the incremental sum may carry a tiny
+      // floating-point residue from add/remove churn; the canonical record
+      // for an empty shard is exactly zero (the wire decoder enforces it).
+      rec.fresh_sum = 0.0;
+    }
+    return rec;
+  }
+  std::lock_guard lock(shard.mutex);
+  return shard_delta_locked(shard, now_s);
+}
+
+void FleetEstimator::shard_deltas(double now_s,
+                                  std::vector<ShardDeltaRecord>& out) const {
+  out.reserve(out.size() + shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    out.push_back(shard_delta(*shard, now_s));
+  }
+}
+
+void FleetEstimator::update_staleness_gauges(double now_s) const {
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard lock(shard.mutex);
+    // Per-node staleness gauges exist only for nodes interned below
+    // FleetOptions::per_node_gauge_limit, so this loop is bounded by the
+    // limit, not the fleet size. Gauge-carrying slots are a prefix of each
+    // shard (ids grow with slots).
+    for (std::uint32_t slot = 0;
+         slot < shard.nodes.size() &&
+         shard.nodes[slot].id < options_.per_node_gauge_limit;
+         ++slot) {
+      const NodeState& state = shard.nodes[slot];
+      if (state.staleness_gauge == nullptr) {
+        continue;
+      }
+      const double staleness =
+          state.last_seen_s < 0.0 ? -1.0 : now_s - state.last_seen_s;
+      state.staleness_gauge->set(staleness);
+    }
+  }
 }
 
 FleetSnapshot FleetEstimator::snapshot(double now_s) const {
   PWX_SPAN("fleet.snapshot");
   FleetSnapshot snap;
-  const bool telemetry = obs::enabled();
-  bool have_minmax = false;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const Shard& shard = *shards_[s];
-    std::lock_guard lock(shard.mutex);
-    if (shard.minmax_stale) {
-      repair_minmax(shard);
-    }
-
-    // Stale prefix: the last-seen list is sorted, so the stale set at
-    // `now_s` is exactly a prefix.
-    std::size_t stale = 0;
-    std::size_t stale_included = 0;
-    std::size_t stale_degraded = 0;
-    std::size_t stale_failed = 0;
-    double stale_sum = 0.0;
-    bool extremum_stale = false;
-    for (std::uint32_t slot = shard.seen_head; slot != kNil;
-         slot = shard.nodes[slot].seen_next) {
-      const NodeState& state = shard.nodes[slot];
-      if (!stale_at(state, now_s)) {
-        break;
-      }
-      stale += 1;
-      if (state.last_seen_s < 0.0) {
-        continue;  // interned but never reported
-      }
-      if (state.guard.health == HealthState::Failed) {
-        stale_failed += 1;
-        continue;
-      }
-      stale_included += 1;
-      if (state.guard.health == HealthState::Degraded) {
-        stale_degraded += 1;
-      }
-      stale_sum += state.last_estimate;
-      if (shard.min_slot != kNil && (state.last_estimate <= shard.min_watts ||
-                                     state.last_estimate >= shard.max_watts)) {
-        extremum_stale = true;
-      }
-    }
-
-    const std::size_t fresh_included = shard.included - stale_included;
-    snap.nodes_stale += stale;
-    snap.nodes_reporting += fresh_included;
-    snap.nodes_degraded += shard.degraded - stale_degraded;
-    snap.nodes_failed += shard.failed - stale_failed;
-    if (fresh_included > 0) {
-      snap.total_watts +=
-          stale_included > 0 ? shard.sum_watts - stale_sum : shard.sum_watts;
-      double shard_min = shard.min_watts;
-      double shard_max = shard.max_watts;
-      if (extremum_stale) {
-        // A stale node may hold the shard extremum: rescan fresh nodes.
-        bool first = true;
-        for (std::uint32_t slot = 0; slot < shard.nodes.size(); ++slot) {
-          const NodeState& state = shard.nodes[slot];
-          if (stale_at(state, now_s) ||
-              state.guard.health == HealthState::Failed) {
-            continue;
-          }
-          if (first || state.last_estimate < shard_min) {
-            shard_min = state.last_estimate;
-          }
-          if (first || state.last_estimate > shard_max) {
-            shard_max = state.last_estimate;
-          }
-          first = false;
-        }
-      }
-      if (!have_minmax) {
-        snap.min_node_watts = shard_min;
-        snap.max_node_watts = shard_max;
-        have_minmax = true;
-      } else {
-        snap.min_node_watts = std::min(snap.min_node_watts, shard_min);
-        snap.max_node_watts = std::max(snap.max_node_watts, shard_max);
-      }
-    }
-
-    if (telemetry) {
-      // Per-node staleness gauges exist only for nodes interned below
-      // FleetOptions::per_node_gauge_limit, so this loop is bounded by the
-      // limit, not the fleet size. Gauge-carrying slots are a prefix of
-      // each shard (ids grow with slots).
-      for (std::uint32_t slot = 0;
-           slot < shard.nodes.size() &&
-           id_at(s, slot) < options_.per_node_gauge_limit;
-           ++slot) {
-        const NodeState& state = shard.nodes[slot];
-        if (state.staleness_gauge == nullptr) {
-          continue;
-        }
-        const double staleness =
-            state.last_seen_s < 0.0 ? -1.0 : now_s - state.last_seen_s;
-        state.staleness_gauge->set(staleness);
-      }
-    }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    fold_shard_delta(snap, shard_delta(*shard, now_s));
   }
 
-  if (telemetry) {
+  if (obs::enabled()) {
+    update_staleness_gauges(now_s);
     obs::MetricRegistry& reg = obs::registry();
     reg.gauge("fleet.nodes_reporting", "nodes contributing to the fleet total")
         .set(static_cast<double>(snap.nodes_reporting));
@@ -556,17 +770,22 @@ FleetSnapshot FleetEstimator::snapshot(double now_s) const {
         .set(static_cast<double>(snap.nodes_failed));
     reg.gauge("fleet.total_watts", "fleet-wide power estimate")
         .set(snap.total_watts);
+    reg.gauge("fleet.nodes_active", "nodes that ever reported a sample")
+        .set(static_cast<double>(snap.nodes_active));
+    reg.gauge("fleet.nodes_interned", "node names interned into the fleet")
+        .set(static_cast<double>(snap.nodes_interned));
   }
   return snap;
 }
 
 std::optional<double> FleetEstimator::node_estimate(NodeId node) const {
-  const Shard& shard = *shards_[shard_of(node)];
-  std::lock_guard lock(shard.mutex);
-  if (slot_of(node) >= shard.nodes.size()) {
+  if (node >= node_count_.load(std::memory_order_acquire)) {
     return std::nullopt;
   }
-  const NodeState& state = shard.nodes[slot_of(node)];
+  const Loc loc = loc_of(node);
+  const Shard& shard = *shards_[loc.shard];
+  std::lock_guard lock(shard.mutex);
+  const NodeState& state = shard.nodes[loc.slot];
   if (state.last_seen_s < 0.0) {
     return std::nullopt;
   }
@@ -579,12 +798,13 @@ std::optional<double> FleetEstimator::node_estimate(const std::string& node) con
 }
 
 std::optional<HealthState> FleetEstimator::node_health(NodeId node) const {
-  const Shard& shard = *shards_[shard_of(node)];
-  std::lock_guard lock(shard.mutex);
-  if (slot_of(node) >= shard.nodes.size()) {
+  if (node >= node_count_.load(std::memory_order_acquire)) {
     return std::nullopt;
   }
-  const NodeState& state = shard.nodes[slot_of(node)];
+  const Loc loc = loc_of(node);
+  const Shard& shard = *shards_[loc.shard];
+  std::lock_guard lock(shard.mutex);
+  const NodeState& state = shard.nodes[loc.slot];
   if (state.last_seen_s < 0.0) {
     return std::nullopt;
   }

@@ -7,18 +7,27 @@
 // estimates, the fleet total, and staleness bookkeeping so that nodes whose
 // telemetry stopped do not silently freeze the total.
 //
-// Scaling architecture (see DESIGN.md "Fleet sharding"):
+// Scaling architecture (see DESIGN.md "Hierarchical fleet aggregation"):
 //
 //   * Node names are hash-interned once into stable NodeId handles with
 //     contiguous string storage; the per-sample path never touches a string.
 //   * Node state is sharded across `FleetOptions::shard_count` tables with
-//     per-shard mutexes. A node's state is one GuardedState plus staleness
-//     links (~100 bytes); the model lives once, compiled into a ModelLayout
-//     shared by every node, so the per-sample cost is the dense dot product.
-//   * Each shard keeps incremental running aggregates (sum/reporting/
-//     degraded/failed, min/max holders with cheap lazy repair) and an
-//     intrusive list ordered by last-seen time, so snapshot() costs
-//     O(shards + stale nodes [+ repairs]) instead of O(nodes).
+//     per-shard mutexes. A node's shard is a pure function of its *name*
+//     (FNV-1a hash modulo the shard count), never of intern order, so any
+//     two estimators that agree on a shard count assign every node to the
+//     same shard — the property that makes multi-process aggregation
+//     bit-identical to a single estimator (see fleet/delta.hpp).
+//   * Each shard keeps incremental running aggregates over the *active* set
+//     (nodes that ever reported): sum/reporting/degraded/failed, min/max
+//     holders with cheap lazy repair, and a last-seen-ordered intrusive
+//     list. Interned-but-never-reported nodes cost one counter, not a list
+//     entry, so aggregation scales with live nodes, not with the interned
+//     namespace (the sparse-directory idea Graphite uses for coherence).
+//   * Every shard publishes its aggregate through a seqlock next to the
+//     mutex. snapshot()/shard_deltas() read S small published aggregates
+//     lock-free; a shard only falls back to its mutex when the published
+//     state cannot answer (a stale active node at `now_s`, a min/max holder
+//     pending lazy repair, or a torn read under concurrent ingest).
 //   * ingest_batch() groups samples by shard and processes each shard's
 //     group under one lock acquisition; with FleetOptions::parallel_ingest
 //     the shard groups run under OpenMP. Samples of one node stay in batch
@@ -32,6 +41,8 @@
 // transfer error across simulated part variation.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <limits>
@@ -59,7 +70,7 @@ using NodeId = std::uint32_t;
 /// Tuning knobs of the sharded fleet engine.
 struct FleetOptions {
   /// Shards node state is spread across. More shards = less lock contention
-  /// and more ingest_batch parallelism; estimates are shard-count
+  /// and more ingest_batch parallelism; per-node estimates are shard-count
   /// independent (bit-identical for any value).
   std::size_t shard_count = 16;
   /// Process ingest_batch shard groups in parallel (OpenMP; no-op without
@@ -83,7 +94,38 @@ struct FleetSnapshot {
   /// Extremes over reporting nodes; NaN when no node reports.
   double max_node_watts = std::numeric_limits<double>::quiet_NaN();
   double min_node_watts = std::numeric_limits<double>::quiet_NaN();
+  /// Namespace accounting: nodes that ever reported vs nodes interned.
+  std::size_t nodes_active = 0;
+  std::size_t nodes_interned = 0;
 };
+
+/// One shard's contribution to a FleetSnapshot, evaluated at a fixed fleet
+/// time. This is the unit of hierarchical aggregation: a flat snapshot, a
+/// two-level fleet tree, and a cross-process delta merge all fold the same
+/// records with fold_shard_delta(), which is what makes the three paths
+/// bit-identical over the same samples. Also the payload of the shard-delta
+/// wire format (fleet/delta.hpp).
+struct ShardDeltaRecord {
+  double fresh_sum = 0.0;  ///< Σ last_estimate over fresh included nodes
+  /// Extremes over fresh included nodes; NaN when none report.
+  double min_watts = std::numeric_limits<double>::quiet_NaN();
+  double max_watts = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t reporting = 0;  ///< fresh nodes included in fresh_sum
+  std::uint64_t stale = 0;      ///< stale active + never-reported interned
+  std::uint64_t degraded = 0;   ///< fresh included nodes in DEGRADED health
+  std::uint64_t failed = 0;     ///< fresh reported nodes excluded as FAILED
+  std::uint64_t active = 0;     ///< nodes that ever reported
+  std::uint64_t interned = 0;   ///< nodes interned into the shard
+};
+
+/// Fold one shard's record into a snapshot. The one definition of the
+/// aggregation arithmetic: callers must fold records in canonical shard
+/// order (leaf-major, shard-minor for a tree) for bit-identical totals.
+void fold_shard_delta(FleetSnapshot& snap, const ShardDeltaRecord& rec);
+
+/// FNV-1a digest over a snapshot's semantic fields (bit patterns of the
+/// doubles, so two snapshots digest equal iff they are bit-identical).
+std::uint64_t snapshot_digest(const FleetSnapshot& snap);
 
 /// One node's reading for batch ingestion.
 struct NodeSample {
@@ -119,6 +161,17 @@ public:
                           double smoothing = 0.0,
                           double staleness_horizon_s = 10.0,
                           FleetOptions options = {});
+
+  ~FleetEstimator();
+  FleetEstimator(const FleetEstimator&) = delete;
+  FleetEstimator& operator=(const FleetEstimator&) = delete;
+
+  /// FNV-1a hash of a node name — the one hash every fleet component
+  /// derives node placement from. A node's shard is name_hash(name) %
+  /// shard_count; a fleet tree's group and a leaf daemon's slice are
+  /// derived from the same value (fleet/tree.hpp), so placement agrees
+  /// across processes without shared state.
+  static std::uint64_t name_hash(std::string_view node);
 
   /// Get-or-create the stable handle for a node name. Interning is the only
   /// string-touching operation; do it once at node discovery and ingest by
@@ -159,11 +212,32 @@ public:
   /// loop of ingest calls).
   std::size_t ingest_batch(std::span<const NodeSample> batch);
 
+  /// Pointer-batch ingest: applies *batch[0], *batch[1], ... in that order,
+  /// without copying the samples. This is how a fleet tree routes one large
+  /// batch to its groups: each group receives its slice of a shared,
+  /// group-sorted pointer array. Same contract as the value overload.
+  std::size_t ingest_batch(std::span<const NodeSample* const> batch);
+
   /// Aggregate over all known nodes at fleet time `now_s`. Nodes whose
   /// estimator reports FAILED are excluded from the total (counted in
   /// nodes_failed); DEGRADED nodes stay included but are counted.
-  /// O(shards + stale nodes) via the incremental per-shard aggregates.
+  /// Implemented as a fold of shard_deltas(): a lock-free read of S
+  /// published shard aggregates in the common case (every active node
+  /// fresh, no pending min/max repair), a per-shard mutex fallback
+  /// otherwise — never O(interned namespace).
   FleetSnapshot snapshot(double now_s) const;
+
+  /// The per-shard contributions snapshot() folds, in shard order. This is
+  /// what a hierarchical aggregator consumes: a tree folds the deltas of
+  /// its groups, a leaf daemon encodes them onto the wire (fleet/delta.hpp).
+  /// Appends options().shard_count records to `out`.
+  void shard_deltas(double now_s, std::vector<ShardDeltaRecord>& out) const;
+
+  /// Write per-node staleness gauges for gauge-carrying nodes (those
+  /// interned below FleetOptions::per_node_gauge_limit). Called by
+  /// snapshot() when telemetry is enabled; a fleet tree calls it on its
+  /// groups. Cost is bounded by the limit, not the fleet size.
+  void update_staleness_gauges(double now_s) const;
 
   /// Last estimate of one node (nullopt when the node never reported).
   std::optional<double> node_estimate(const std::string& node) const;
@@ -197,15 +271,41 @@ private:
     GuardedState guard;
     double last_estimate = 0.0;
     double last_seen_s = -1.0;
-    std::uint32_t seen_prev = kNil;  ///< intrusive list ordered by last_seen_s
+    std::uint32_t seen_prev = kNil;  ///< intrusive list over *active* nodes
     std::uint32_t seen_next = kNil;
+    NodeId id = 0;                          ///< global intern handle
     const std::string* name = nullptr;      ///< stable deque storage
     obs::Gauge* staleness_gauge = nullptr;  ///< preallocated at intern (or null)
   };
 
-  /// One shard: a slice of node states (node's slot = id / shard_count),
-  /// its last-seen-ordered list, and incremental aggregates over the
-  /// *included* set (ever-reported nodes whose health is not FAILED).
+  /// Seqlock-published shard aggregate: the lock-free face of a shard.
+  /// Writers (always under the shard mutex, so writes never race each
+  /// other) bump `seq` to odd, store the payload with relaxed atomics, and
+  /// bump back to even; readers retry on a seq change or an odd seq. All
+  /// payload fields are atomics, so a torn read window is a retry, never a
+  /// data race.
+  struct PublishedAggregate {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<double> sum_watts{0.0};
+    std::atomic<double> min_watts{0.0};
+    std::atomic<double> max_watts{0.0};
+    /// Oldest last_seen_s over active nodes (+inf when none): the one value
+    /// that decides "is any active node stale at now_s" without a walk.
+    std::atomic<double> oldest_seen_s{std::numeric_limits<double>::infinity()};
+    std::atomic<std::uint64_t> included{0};
+    std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> active{0};
+    std::atomic<std::uint64_t> interned{0};
+    std::atomic<std::uint32_t> flags{0};  ///< kMinMaxValid | kMinMaxStale
+  };
+  static constexpr std::uint32_t kMinMaxValid = 1u << 0;
+  static constexpr std::uint32_t kMinMaxStale = 1u << 1;
+
+  /// One shard: the states of its nodes (assigned by name hash), a
+  /// last-seen-ordered intrusive list over *active* (ever-reported) nodes,
+  /// incremental aggregates over the included set, and the seqlock-published
+  /// copy snapshot readers consume without the mutex.
   struct Shard {
     mutable std::mutex mutex;
     /// Publication this shard currently serves; refreshed (under the shard
@@ -214,12 +314,13 @@ private:
     /// Scratch for cross-generation sample remapping (guarded by mutex).
     DenseSample remap_scratch;
     std::vector<NodeState> nodes;
-    std::uint32_t seen_head = kNil;  ///< oldest last_seen_s (never-reported first)
+    std::uint32_t seen_head = kNil;  ///< oldest last_seen_s among active nodes
     std::uint32_t seen_tail = kNil;  ///< freshest last_seen_s
     double sum_watts = 0.0;          ///< Σ last_estimate over included nodes
     std::size_t included = 0;        ///< reported && !failed
     std::size_t degraded = 0;        ///< included && DEGRADED
     std::size_t failed = 0;          ///< reported && FAILED
+    std::size_t active = 0;          ///< reported at least once
     // Extremes over included nodes (valid when min_slot != kNil and
     // !minmax_stale); mutable because snapshot() repairs them lazily.
     mutable double min_watts = 0.0;
@@ -227,25 +328,50 @@ private:
     mutable std::uint32_t min_slot = kNil;   ///< holder of min_watts
     mutable std::uint32_t max_slot = kNil;   ///< holder of max_watts
     mutable bool minmax_stale = false;       ///< lazily repaired on snapshot
+    mutable PublishedAggregate agg;          ///< seqlock-published copy
   };
 
-  std::size_t shard_of(NodeId id) const { return id % options_.shard_count; }
-  std::size_t slot_of(NodeId id) const { return id / options_.shard_count; }
-  NodeId id_at(std::size_t shard, std::size_t slot) const {
-    return static_cast<NodeId>(slot * options_.shard_count + shard);
-  }
+  /// Lock-free append-only NodeId -> (shard, slot) index: fixed chunk table
+  /// with atomically published chunks of atomic entries, so the ingest hot
+  /// path resolves a handle with two loads and no lock while interns grow
+  /// the index concurrently.
+  struct Loc {
+    std::uint32_t shard;
+    std::uint32_t slot;
+  };
+  static constexpr std::size_t kLocChunkBits = 16;
+  static constexpr std::size_t kLocChunkSize = std::size_t{1} << kLocChunkBits;
+  static constexpr std::size_t kLocMaxChunks = 4096;  ///< 268M nodes
 
-  double ingest_locked(Shard& shard, NodeId id, const DenseSample& sample,
+  Loc loc_of(NodeId id) const {
+    const std::atomic<std::uint64_t>* chunk =
+        loc_chunks_[id >> kLocChunkBits].load(std::memory_order_acquire);
+    const std::uint64_t packed =
+        chunk[id & (kLocChunkSize - 1)].load(std::memory_order_relaxed);
+    return Loc{static_cast<std::uint32_t>(packed >> 32),
+               static_cast<std::uint32_t>(packed)};
+  }
+  void store_loc(NodeId id, Loc loc);  ///< under intern_mutex_
+
+  double ingest_locked(Shard& shard, std::uint32_t slot, const DenseSample& sample,
                        double now_s);
   /// Refresh the shard's cached publication when the epoch swapped (caller
   /// holds the shard mutex); returns the publication to serve with.
   const PublishedModel& acquire_publication(Shard& shard);
   /// Ingest one (possibly cross-generation) sample into a locked shard.
-  double ingest_sample_locked(Shard& shard, NodeId id, const DenseSample& sample,
+  double ingest_sample_locked(Shard& shard, std::uint32_t slot,
+                              const DenseSample& sample,
                               std::uint64_t sample_generation, double now_s);
+  std::size_t ingest_batch_impl(std::span<const NodeSample* const> samples);
   void detach_seen(Shard& shard, std::uint32_t slot);
   void attach_seen_sorted(Shard& shard, std::uint32_t slot);
   void repair_minmax(const Shard& shard) const;
+  /// Re-publish the shard's aggregate through the seqlock (mutex held).
+  void publish_aggregate(const Shard& shard) const;
+  /// One shard's delta: lock-free via the published aggregate when it can
+  /// answer at `now_s`, per-shard-mutex walk otherwise.
+  ShardDeltaRecord shard_delta(const Shard& shard, double now_s) const;
+  ShardDeltaRecord shard_delta_locked(const Shard& shard, double now_s) const;
   bool stale_at(const NodeState& state, double now_s) const {
     return state.last_seen_s < 0.0 ||
            now_s - state.last_seen_s > staleness_horizon_s_;
@@ -263,6 +389,11 @@ private:
   mutable std::mutex intern_mutex_;
   std::deque<std::string> names_;           ///< names_[id] = node name
   std::vector<std::uint32_t> hash_slots_;   ///< open addressing: id + 1, 0 = empty
+
+  /// Interned count, published after the node's Loc entry: the lock-free
+  /// bound ingest paths validate handles against.
+  std::atomic<std::uint32_t> node_count_{0};
+  std::array<std::atomic<std::atomic<std::uint64_t>*>, kLocMaxChunks> loc_chunks_{};
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };

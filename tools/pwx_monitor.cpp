@@ -73,9 +73,66 @@ int usage(const char* argv0) {
                "          [--interval-s X] [--format jsonl|prometheus|table]\n"
                "          [--faults SEED [--intensity X]] [--no-robust]\n"
                "          [--log-json] [--spans] [--fleet N]\n"
-               "          [--trace] [--trace-replay FILE]\n",
+               "          [--trace] [--trace-replay FILE] [--aggregate FILE]\n",
                argv0);
   return 2;
+}
+
+// Aggregate replay: render the merged-snapshot JSONL an aggregator
+// (pwx-fleetd --aggregate) emits, so the live-monitor workflow covers
+// multi-process fleets. One human-readable line per fleet snapshot plus a
+// trailing summary; non-fleet events interleaved in the stream are skipped.
+int run_aggregate_replay(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open aggregate file '%s'\n", path);
+    return 1;
+  }
+  const auto num_field = [](const std::string& line, const char* key,
+                            double fallback) {
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) {
+      return fallback;
+    }
+    return std::strtod(line.c_str() + at + needle.size(), nullptr);
+  };
+  const auto str_field = [](const std::string& line, const char* key) {
+    const std::string needle = std::string("\"") + key + "\":\"";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) {
+      return std::string();
+    }
+    const std::size_t begin = at + needle.size();
+    return line.substr(begin, line.find('"', begin) - begin);
+  };
+  std::size_t snapshots = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"event\":\"fleet\"") == std::string::npos) {
+      continue;
+    }
+    snapshots += 1;
+    const auto leaves = static_cast<std::size_t>(num_field(line, "leaves", 1));
+    const auto leaf_count =
+        static_cast<std::size_t>(num_field(line, "leaf_count", 1));
+    std::printf(
+        "t=%.3fs leaves=%zu/%zu reporting=%zu stale=%zu degraded=%zu "
+        "failed=%zu total=%.3fW",
+        num_field(line, "t_s", 0.0), leaves, leaf_count,
+        static_cast<std::size_t>(num_field(line, "nodes_reporting", 0)),
+        static_cast<std::size_t>(num_field(line, "nodes_stale", 0)),
+        static_cast<std::size_t>(num_field(line, "nodes_degraded", 0)),
+        static_cast<std::size_t>(num_field(line, "nodes_failed", 0)),
+        num_field(line, "total_watts", 0.0));
+    const std::string digest = str_field(line, "digest");
+    if (!digest.empty()) {
+      std::printf(" [digest %s]", digest.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("aggregated %zu fleet snapshots from %s\n", snapshots, path);
+  return snapshots > 0 ? 0 : 1;
 }
 
 // Offline replay: parse a recorded span JSONL stream and print the latency
@@ -199,6 +256,7 @@ int main(int argc, char** argv) {
   bool spans = false;
   bool trace = false;
   const char* trace_replay = nullptr;
+  const char* aggregate_file = nullptr;
   std::size_t fleet_nodes = 0;  // 0 = single-node mode
 
   for (int i = 1; i < argc; ++i) {
@@ -243,6 +301,8 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (arg == "--trace-replay") {
       trace_replay = next();
+    } else if (arg == "--aggregate") {
+      aggregate_file = next();
     } else if (arg == "--fleet") {
       fleet_nodes = std::strtoul(next(), nullptr, 10);
     } else {
@@ -253,6 +313,9 @@ int main(int argc, char** argv) {
   try {
     if (trace_replay != nullptr) {
       return run_trace_replay(trace_replay);
+    }
+    if (aggregate_file != nullptr) {
+      return run_aggregate_replay(aggregate_file);
     }
 
     obs::set_enabled(true);
