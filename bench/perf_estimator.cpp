@@ -96,6 +96,86 @@ void BM_EstimateSampleGuardedTracing(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateSampleGuardedTracing);
 
+// The pre-batching consumer pattern: N guarded estimates through the scalar
+// per-sample path over an AoS sample vector. Kept as the reference the
+// batched benchmark's speedup is measured against (bench/perf_baseline.json
+// pins this loop's time under the BM_EstimateBatchGuarded name).
+void BM_EstimateScalarLoop(benchmark::State& state) {
+  obs::set_enabled(false);
+  core::OnlineEstimator estimator(shared_model());
+  const core::ModelLayout& layout = estimator.layout();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<core::DenseSample> samples(n, layout.make_sample());
+  const core::CounterSample proto = sample_for_model(shared_model());
+  for (std::size_t k = 0; k < n; ++k) {
+    layout.to_dense_guarded(proto, samples[k]);
+    samples[k].voltage += 1e-4 * static_cast<double>(k % 7);
+  }
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const core::DenseSample& sample : samples) {
+      acc += estimator.estimate_guarded(sample);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EstimateScalarLoop)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// The batched replacement: same samples in an SoA batch, one
+// estimate_batch_guarded call. Bit-identical outputs to the scalar loop;
+// the CI gate (bench_batch_gate) requires >=4x over the scalar-loop time
+// checked into the baseline.
+void BM_EstimateBatchGuarded(benchmark::State& state) {
+  obs::set_enabled(false);
+  core::OnlineEstimator estimator(shared_model());
+  const core::ModelLayout& layout = estimator.layout();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::SampleBatch batch;
+  batch.reset(layout, n);
+  core::DenseSample dense = layout.make_sample();
+  const core::CounterSample proto = sample_for_model(shared_model());
+  for (std::size_t k = 0; k < n; ++k) {
+    layout.to_dense_guarded(proto, dense);
+    dense.voltage += 1e-4 * static_cast<double>(k % 7);
+    batch.append(dense);
+  }
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    estimator.estimate_batch_guarded(batch, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EstimateBatchGuarded)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// The raw vector kernel alone (no guarded fold): the ceiling the batched
+// guarded path approaches as the fold amortizes away.
+void BM_PredictBatchRaw(benchmark::State& state) {
+  obs::set_enabled(false);
+  const core::ModelLayout layout(shared_model());
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::SampleBatch batch;
+  batch.reset(layout, n);
+  core::DenseSample dense = layout.make_sample();
+  const core::CounterSample proto = sample_for_model(shared_model());
+  for (std::size_t k = 0; k < n; ++k) {
+    layout.to_dense_guarded(proto, dense);
+    dense.voltage += 1e-4 * static_cast<double>(k % 7);
+    batch.append(dense);
+  }
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    core::predict_batch(layout, batch, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PredictBatchRaw)->Arg(4096)->Unit(benchmark::kMillisecond);
+
 void BM_TrainModel(benchmark::State& state) {
   const bench::StandardPipeline& p = bench::StandardPipeline::get();
   for (auto _ : state) {

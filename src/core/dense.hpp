@@ -79,6 +79,16 @@ public:
   /// mirror of OnlineEstimator's sample validation.
   std::optional<double> try_predict(const DenseSample& sample) const;
 
+  // Flat coefficient access for the batched kernels (dense_kernels.hpp):
+  // exactly the values predict() reads, in the same slot order.
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+  double dyn_coef() const { return dyn_coef_; }
+  double static_coef() const { return static_coef_; }
+  bool has_dyn() const { return has_dyn_; }
+  bool has_static() const { return has_static_; }
+  bool per_cycle() const { return per_cycle_; }
+
 private:
   std::vector<pmc::Preset> events_;
   std::vector<double> coef_;      ///< α_n in slot order

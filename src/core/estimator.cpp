@@ -52,16 +52,14 @@ double smooth_step(double smoothing, double raw, GuardedState& state) {
 
 }  // namespace
 
-double guarded_estimate_step(const ModelLayout& layout, double smoothing,
-                             const EstimatorGuards& guards,
-                             const DenseSample& sample, GuardedState& state) {
+double guarded_fold_raw(double smoothing, const EstimatorGuards& guards,
+                        bool valid, double raw, GuardedState& state) {
   const bool telemetry = obs::enabled();
   const HealthState before = state.health;
-  const std::optional<double> raw = layout.try_predict(sample);
-  if (raw.has_value()) {
+  if (valid) {
     state.consecutive_invalid = 0;
     state.health = HealthState::Ok;
-    const double clamped = std::clamp(*raw, guards.min_watts, guards.max_watts);
+    const double clamped = std::clamp(raw, guards.min_watts, guards.max_watts);
     const double out = smooth_step(smoothing, clamped, state);
     state.last_good = out;
     if (telemetry) {
@@ -69,7 +67,7 @@ double guarded_estimate_step(const ModelLayout& layout, double smoothing,
       // whole block, so the steady-state cost is a single atomic increment.
       EstimatorMetrics& m = estimator_metrics();
       m.estimates.add_unguarded(1);
-      if (clamped != *raw) {
+      if (clamped != raw) {
         m.clamped.add_unguarded(1);
       }
       // The gauge is only written on transitions to keep the steady-state
@@ -105,6 +103,99 @@ double guarded_estimate_step(const ModelLayout& layout, double smoothing,
     }
   }
   return std::clamp(held, guards.min_watts, guards.max_watts);
+}
+
+double guarded_estimate_step(const ModelLayout& layout, double smoothing,
+                             const EstimatorGuards& guards,
+                             const DenseSample& sample, GuardedState& state) {
+  const std::optional<double> raw = layout.try_predict(sample);
+  return guarded_fold_raw(smoothing, guards, raw.has_value(),
+                          raw.value_or(0.0), state);
+}
+
+void note_batch_lanes(std::size_t samples, std::size_t invalid) {
+  if (!obs::enabled()) {
+    return;
+  }
+  static obs::Counter& batch_samples = obs::registry().counter(
+      "estimate.batch.samples", "samples estimated through the batched path");
+  static obs::Counter& batch_invalid = obs::registry().counter(
+      "estimate.batch.lanes_invalid",
+      "batched-path lanes rejected by sample validation");
+  batch_samples.add_unguarded(samples);
+  batch_invalid.add_unguarded(invalid);
+}
+
+void guarded_estimate_batch(const ModelLayout& layout, double smoothing,
+                            const EstimatorGuards& guards,
+                            const SampleBatch& batch, GuardedState& state,
+                            std::span<double> out,
+                            std::span<HealthState> health_out) {
+  const std::size_t lanes = batch.size();
+  PWX_REQUIRE(out.size() >= lanes, "output span has ", out.size(),
+              " entries for ", lanes, " lanes");
+  PWX_REQUIRE(health_out.empty() || health_out.size() >= lanes,
+              "health span has ", health_out.size(), " entries for ", lanes,
+              " lanes");
+  if (lanes == 0) {
+    return;
+  }
+  if (batch.slots() != layout.slots()) {
+    // The batch was built against a layout a hot swap replaced: every lane
+    // is invalid, exactly as per-sample conversion would conclude.
+    for (std::size_t k = 0; k < lanes; ++k) {
+      out[k] = guarded_fold_raw(smoothing, guards, false, 0.0, state);
+      if (!health_out.empty()) {
+        health_out[k] = state.health;
+      }
+    }
+    note_batch_lanes(lanes, lanes);
+    return;
+  }
+  // Raw predictions land directly in `out` and are folded in place — the
+  // guarded step only ever reads lane k's raw value before writing lane k.
+  // When no smoothing or telemetry needs the unclamped raw value, the guard
+  // clamp is fused into the kernel store (clamping is idempotent, so lanes
+  // that still go through the per-lane fold below produce identical bits).
+  thread_local std::vector<std::uint8_t> valids;
+  valids.resize(lanes);
+  const bool fused_clamp = smoothing <= 0.0 && !obs::enabled();
+  if (fused_clamp) {
+    predict_batch_clamped(layout, batch, guards.min_watts, guards.max_watts,
+                          out, valids);
+  } else {
+    predict_batch_guarded(layout, batch, out, valids);
+  }
+  std::uint8_t all_valid = 1;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    all_valid &= valids[k];
+  }
+  // Fast path: every lane valid, no smoothing, telemetry off. Each fold
+  // then degenerates to the clamp the kernel already applied plus the same
+  // terminal state (health Ok, invalid streak 0, last_good = the final
+  // lane's output, smoothed untouched) — so the state machine is applied
+  // once and the outputs are already final. Identical outputs and end
+  // state to the lane-by-lane fold; any smoothing, telemetry, or invalid
+  // lane falls through to it.
+  if (all_valid != 0 && fused_clamp) {
+    state.consecutive_invalid = 0;
+    state.health = HealthState::Ok;
+    state.last_good = out[lanes - 1];
+    if (!health_out.empty()) {
+      std::fill_n(health_out.begin(), lanes, HealthState::Ok);
+    }
+    return;
+  }
+  std::size_t invalid = 0;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    const bool valid = valids[k] != 0;
+    invalid += valid ? 0 : 1;
+    out[k] = guarded_fold_raw(smoothing, guards, valid, out[k], state);
+    if (!health_out.empty()) {
+      health_out[k] = state.health;
+    }
+  }
+  note_batch_lanes(lanes, invalid);
 }
 
 OnlineEstimator::OnlineEstimator(PowerModel model, double smoothing,
@@ -170,6 +261,28 @@ double OnlineEstimator::estimate_guarded(const DenseSample& sample) {
   maybe_adopt();
   return guarded_estimate_step(current_->layout, smoothing_, guards_, sample,
                                state_);
+}
+
+void OnlineEstimator::estimate_batch_guarded(const SampleBatch& batch,
+                                             std::span<double> out,
+                                             std::span<HealthState> health_out) {
+  maybe_adopt();
+  guarded_estimate_batch(current_->layout, smoothing_, guards_, batch, state_,
+                         out, health_out);
+}
+
+void OnlineEstimator::estimate_batch_guarded(
+    std::span<const CounterSample> samples, SampleBatch& scratch,
+    std::span<double> out, std::span<HealthState> health_out) {
+  // Adopt before converting so the batch is built against the layout that
+  // will score it — the slot-mismatch all-invalid path cannot trigger here.
+  maybe_adopt();
+  scratch.reset(current_->layout, samples.size());
+  for (const CounterSample& sample : samples) {
+    scratch.append_guarded(current_->layout, sample);
+  }
+  guarded_estimate_batch(current_->layout, smoothing_, guards_, scratch, state_,
+                         out, health_out);
 }
 
 void OnlineEstimator::reset() { state_.reset(); }

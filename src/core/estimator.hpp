@@ -25,9 +25,11 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/dense.hpp"
+#include "core/dense_kernels.hpp"
 #include "core/epoch.hpp"
 #include "core/health.hpp"
 #include "core/model.hpp"
@@ -93,6 +95,38 @@ double guarded_estimate_step(const ModelLayout& layout, double smoothing,
                              const EstimatorGuards& guards,
                              const DenseSample& sample, GuardedState& state);
 
+/// The guard/clamp/degradation lane of guarded_estimate_step on a
+/// *precomputed* raw prediction: `valid` is try_predict's verdict and `raw`
+/// its value (ignored when invalid). This is the one definition of the
+/// guarded state machine — the scalar step and every batched path
+/// (guarded_estimate_batch, the fleet's fused ingest) fold through it, so
+/// outputs, state transitions, telemetry counters, and flight-recorder
+/// triggers are identical however the prediction was computed.
+double guarded_fold_raw(double smoothing, const EstimatorGuards& guards,
+                        bool valid, double raw, GuardedState& state);
+
+/// Batched guarded estimation: one vector predict over the batch, then the
+/// guarded state machine replayed per lane in lane order. Outputs, the
+/// final GuardedState, telemetry, and flight triggers are bit-identical to
+/// batch.size() sequential guarded_estimate_step calls on the same samples.
+/// A batch whose slot count disagrees with `layout` (an epoch swap between
+/// batch build and call) estimates every lane as invalid — the same verdict
+/// scalar conversion would reach sample by sample. `out` needs
+/// batch.size() entries; `health_out`, when non-empty, receives
+/// state.health after each lane (for callers that track per-sample health).
+/// Also feeds the estimate.batch.samples / estimate.batch.lanes_invalid
+/// counters that serving monitors derive estimates/sec from.
+void guarded_estimate_batch(const ModelLayout& layout, double smoothing,
+                            const EstimatorGuards& guards,
+                            const SampleBatch& batch, GuardedState& state,
+                            std::span<double> out,
+                            std::span<HealthState> health_out = {});
+
+/// Count `samples` batch lanes (of which `invalid` failed validation)
+/// against the estimate.batch.* counters. No-op when telemetry is off.
+/// Exposed for batched paths that fold lanes themselves (fleet ingest).
+void note_batch_lanes(std::size_t samples, std::size_t invalid);
+
 /// Turns counter samples into power estimates using a trained model.
 class OnlineEstimator {
 public:
@@ -128,6 +162,25 @@ public:
 
   /// Hardened path on an already-dense sample.
   double estimate_guarded(const DenseSample& sample);
+
+  /// Batched hardened path: every lane of `batch` (built against layout())
+  /// runs through the same guarded state machine in lane order —
+  /// bit-identical to batch.size() sequential estimate_guarded calls,
+  /// amortizing the model evaluation across SIMD lanes. If an epoch swap
+  /// adopted a layout with a different slot count since the batch was
+  /// built, every lane is treated as invalid (held estimate, degraded
+  /// health) — build the batch right before the call. `health_out`, when
+  /// non-empty, receives health() after each lane.
+  void estimate_batch_guarded(const SampleBatch& batch, std::span<double> out,
+                              std::span<HealthState> health_out = {});
+
+  /// Convert-and-estimate: adopts any pending hot swap first, then converts
+  /// the map-keyed samples against the adopted layout into `scratch`
+  /// (reused across calls, guarded conversion) and runs the batched path —
+  /// the swap race of the SampleBatch overload cannot happen here.
+  void estimate_batch_guarded(std::span<const CounterSample> samples,
+                              SampleBatch& scratch, std::span<double> out,
+                              std::span<HealthState> health_out = {});
 
   /// Health of the guarded estimate stream.
   HealthState health() const { return state_.health; }

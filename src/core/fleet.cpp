@@ -341,6 +341,13 @@ void FleetEstimator::publish_aggregate(const Shard& shard) const {
 
 double FleetEstimator::ingest_locked(Shard& shard, std::uint32_t slot,
                                      const DenseSample& sample, double now_s) {
+  const std::optional<double> raw = shard.pub->layout.try_predict(sample);
+  return ingest_locked_raw(shard, slot, raw.has_value(), raw.value_or(0.0),
+                           now_s);
+}
+
+double FleetEstimator::ingest_locked_raw(Shard& shard, std::uint32_t slot,
+                                         bool valid, double raw, double now_s) {
   NodeState& state = shard.nodes[slot];
   PWX_REQUIRE(now_s >= state.last_seen_s, "fleet time went backwards for node '",
               *state.name, "'");
@@ -352,8 +359,8 @@ double FleetEstimator::ingest_locked(Shard& shard, std::uint32_t slot,
       was_included && state.guard.health == HealthState::Degraded;
   const double old_estimate = state.last_estimate;
 
-  const double estimate = guarded_estimate_step(shard.pub->layout, smoothing_,
-                                                guards_, sample, state.guard);
+  const double estimate =
+      guarded_fold_raw(smoothing_, guards_, valid, raw, state.guard);
   state.last_estimate = estimate;
 
   const bool now_included = state.guard.health != HealthState::Failed;
@@ -429,6 +436,15 @@ double FleetEstimator::ingest_sample_locked(Shard& shard, std::uint32_t slot,
   if (sample_generation == 0 || sample_generation == pub.generation) {
     return ingest_locked(shard, slot, sample, now_s);
   }
+  return ingest_locked(shard, slot,
+                       remap_sample(shard, sample, sample_generation, pub),
+                       now_s);
+}
+
+const DenseSample& FleetEstimator::remap_sample(Shard& shard,
+                                                const DenseSample& sample,
+                                                std::uint64_t sample_generation,
+                                                const PublishedModel& pub) {
   // Cross-generation sample: it was built against a layout that a hot swap
   // just replaced. Remap its counts by preset through the layout it was
   // built against (retained in the epoch's history ring). A publication
@@ -459,7 +475,7 @@ double FleetEstimator::ingest_sample_locked(Shard& shard, std::uint32_t slot,
         "cross-generation samples remapped onto a newly swapped layout");
     remaps.add_unguarded(1);
   }
-  return ingest_locked(shard, slot, out, now_s);
+  return out;
 }
 
 double FleetEstimator::ingest(NodeId node, const DenseSample& sample,
@@ -562,6 +578,16 @@ std::size_t FleetEstimator::ingest_batch_impl(
   // path is bit-identical to the serial one. The shard's aggregate is
   // re-published once per group, even when the group throws mid-way — the
   // partial application is visible exactly like a partial serial loop.
+  //
+  // Each shard's group runs fused: chunks of the group are packed into the
+  // shard's SoA scratch batch, one vector predict evaluates all lanes, and
+  // the guarded/aggregate bookkeeping folds per lane in group order. The
+  // predict has no side effects, so a time-monotonicity violation still
+  // throws at exactly the sample index the per-sample loop would — the
+  // partial-application contract is unchanged. The publication is acquired
+  // once per chunk: within one ingest_batch a hot swap lands between
+  // chunks, the same place it could land between samples before.
+  constexpr std::uint32_t kChunkLanes = 1024;
   std::vector<std::exception_ptr> errors(shard_count);
   const auto n_shards = static_cast<std::ptrdiff_t>(shard_count);
 #ifdef _OPENMP
@@ -576,10 +602,38 @@ std::size_t FleetEstimator::ingest_batch_impl(
     Shard& shard = *shards_[static_cast<std::size_t>(s)];
     std::lock_guard lock(shard.mutex);
     try {
-      for (std::uint32_t k = begin; k < end; ++k) {
-        const NodeSample& ns = sample_at(order[k]);
-        const auto slot = static_cast<std::uint32_t>(locs[order[k]]);
-        ingest_sample_locked(shard, slot, ns.sample, ns.generation, ns.now_s);
+      std::uint32_t k = begin;
+      while (k < end) {
+        const PublishedModel& pub = acquire_publication(shard);
+        const std::uint32_t chunk_end =
+            end - k < kChunkLanes ? end : k + kChunkLanes;
+        SampleBatch& batch = shard.batch_scratch;
+        batch.reset(pub.layout, chunk_end - k);
+        for (std::uint32_t j = k; j < chunk_end; ++j) {
+          const NodeSample& ns = sample_at(order[j]);
+          if (ns.generation == 0 || ns.generation == pub.generation) {
+            batch.append(ns.sample);
+          } else {
+            batch.append(remap_sample(shard, ns.sample, ns.generation, pub));
+          }
+        }
+        const std::size_t lanes = batch.size();
+        shard.raw_scratch.resize(lanes);
+        shard.valid_scratch.resize(lanes);
+        predict_batch_guarded(pub.layout, batch, shard.raw_scratch,
+                              shard.valid_scratch);
+        std::size_t invalid = 0;
+        for (std::uint32_t j = k; j < chunk_end; ++j) {
+          const std::size_t lane = j - k;
+          const NodeSample& ns = sample_at(order[j]);
+          const auto slot = static_cast<std::uint32_t>(locs[order[j]]);
+          const bool lane_valid = shard.valid_scratch[lane] != 0;
+          invalid += lane_valid ? 0 : 1;
+          ingest_locked_raw(shard, slot, lane_valid, shard.raw_scratch[lane],
+                            ns.now_s);
+        }
+        note_batch_lanes(lanes, invalid);
+        k = chunk_end;
       }
     } catch (...) {
       errors[static_cast<std::size_t>(s)] = std::current_exception();

@@ -313,6 +313,14 @@ private:
     std::shared_ptr<const PublishedModel> pub;
     /// Scratch for cross-generation sample remapping (guarded by mutex).
     DenseSample remap_scratch;
+    /// Fused-ingest scratch (guarded by mutex): ingest_batch packs each
+    /// chunk of this shard's group into the SoA batch, runs one vector
+    /// predict into raw/valid, then folds lanes through the guarded state
+    /// machine. reset()/resize() keep capacity, so steady-state batches
+    /// allocate nothing.
+    SampleBatch batch_scratch;
+    std::vector<double> raw_scratch;
+    std::vector<std::uint8_t> valid_scratch;
     std::vector<NodeState> nodes;
     std::uint32_t seen_head = kNil;  ///< oldest last_seen_s among active nodes
     std::uint32_t seen_tail = kNil;  ///< freshest last_seen_s
@@ -355,6 +363,18 @@ private:
 
   double ingest_locked(Shard& shard, std::uint32_t slot, const DenseSample& sample,
                        double now_s);
+  /// The bookkeeping half of ingest_locked on a *precomputed* prediction
+  /// (try_predict's verdict and value): guarded fold, running aggregates,
+  /// min/max maintenance, seen-list moves. The one definition both the
+  /// scalar path and the fused batch path apply, which is what keeps them
+  /// bit-identical.
+  double ingest_locked_raw(Shard& shard, std::uint32_t slot, bool valid,
+                           double raw, double now_s);
+  /// Remap a cross-generation sample onto the shard's current layout via the
+  /// epoch history ring (into shard.remap_scratch; caller holds the mutex).
+  const DenseSample& remap_sample(Shard& shard, const DenseSample& sample,
+                                  std::uint64_t sample_generation,
+                                  const PublishedModel& pub);
   /// Refresh the shard's cached publication when the epoch swapped (caller
   /// holds the shard mutex); returns the publication to serve with.
   const PublishedModel& acquire_publication(Shard& shard);

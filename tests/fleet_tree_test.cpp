@@ -159,11 +159,12 @@ std::vector<std::uint64_t> run_flat(std::size_t groups, std::size_t shards,
 
 /// The same stream through a two-level tree.
 std::vector<std::uint64_t> run_tree(std::size_t groups, std::size_t shards,
-                                    bool parallel) {
+                                    bool parallel, bool pin = false) {
   TreeOptions options;
   options.group_count = groups;
   options.shards_per_group = shards;
   options.parallel = parallel;
+  options.pin_groups = pin;
   FleetTree tree(test_model(), 0.0, kHorizon, options);
   std::vector<TreeNodeId> ids;
   for (std::size_t i = 0; i < kNodes; ++i) {
@@ -270,6 +271,18 @@ TEST(FleetTree, ParallelGroupIngestBitIdenticalToSerial) {
   const auto parallel = run_tree(4, 4, /*parallel=*/true);
   EXPECT_EQ(flat, serial);
   EXPECT_EQ(serial, parallel);
+}
+
+TEST(FleetTree, PinnedGroupWorkersBitIdenticalToUnpinned) {
+  // pin_groups moves each group's worker onto a fixed CPU (best-effort; a
+  // denied affinity call is a silent no-op), so the only observable contract
+  // is that the math is untouched: identical digests every round, pinned or
+  // not, parallel or serial.
+  const auto unpinned = run_tree(4, 4, /*parallel=*/true, /*pin=*/false);
+  const auto pinned = run_tree(4, 4, /*parallel=*/true, /*pin=*/true);
+  EXPECT_EQ(unpinned, pinned);
+  const auto pinned_serial = run_tree(4, 4, /*parallel=*/false, /*pin=*/true);
+  EXPECT_EQ(unpinned, pinned_serial);
 }
 
 TEST(FleetTree, GroupDeltasMergeBackToTreeSnapshot) {

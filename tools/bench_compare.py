@@ -7,9 +7,11 @@ Usage:
 Each RESULTS.json is the --benchmark_out of one perf_* binary. For every
 benchmark present in both the results and the baseline, the script prints
 baseline time, current time, and the speedup factor (baseline / current,
-so >1 is faster than the baseline). With --min-speedup, the script exits
-non-zero when any listed benchmark regresses below the bound — handy as a
-perf gate:
+so >1 is faster than the baseline), plus a geometric-mean speedup summary
+over the matched benchmarks. With --min-speedup, the script exits non-zero
+when any listed benchmark regresses below the bound — handy as a perf gate.
+Exit codes: 0 ok, 1 gate failure, 2 no benchmarks found, 4 a gated
+(--filter-matched) benchmark has no baseline entry to compare against:
 
     cmake --build build --target bench_compare
 
@@ -19,6 +21,7 @@ Only python3's standard library is used.
 
 import argparse
 import json
+import math
 import os
 import re
 import sys
@@ -59,6 +62,13 @@ def main(argv):
         "(everything is still printed)",
     )
     parser.add_argument(
+        "--median",
+        action="store_true",
+        help="collapse repeated iteration entries of one benchmark "
+        "(--benchmark_repetitions runs) to their median before comparing, "
+        "so a gate judges the typical run instead of the noisiest one",
+    )
+    parser.add_argument(
         "--pair-suffix",
         default=None,
         help="compare each '<name><suffix>' benchmark against its '<name>' "
@@ -77,15 +87,30 @@ def main(argv):
     with open(args.baseline) as fh:
         baseline = json.load(fh)["benchmarks"]
 
-    rows = []
+    measurements = []
     for path in args.results:
-        for name, real_ms, _cpu_ms in load_results(path):
-            base = baseline.get(name)
-            if base is None:
-                rows.append((name, None, real_ms, None))
-                continue
-            speedup = base["real_time_ms"] / real_ms if real_ms > 0 else float("inf")
-            rows.append((name, base["real_time_ms"], real_ms, speedup))
+        measurements.extend(
+            (name, real_ms) for name, real_ms, _cpu_ms in load_results(path)
+        )
+    if args.median:
+        by_name = {}
+        order = []
+        for name, real_ms in measurements:
+            if name not in by_name:
+                order.append(name)
+            by_name.setdefault(name, []).append(real_ms)
+        measurements = [
+            (name, sorted(by_name[name])[len(by_name[name]) // 2]) for name in order
+        ]
+
+    rows = []
+    for name, real_ms in measurements:
+        base = baseline.get(name)
+        if base is None:
+            rows.append((name, None, real_ms, None))
+            continue
+        speedup = base["real_time_ms"] / real_ms if real_ms > 0 else float("inf")
+        rows.append((name, base["real_time_ms"], real_ms, speedup))
 
     if not rows:
         print("no benchmarks found in the given results files", file=sys.stderr)
@@ -95,9 +120,19 @@ def main(argv):
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'speedup':>8}")
     print("-" * (width + 40))
     failed = []
+    missing_gated = []
     for name, base_ms, cur_ms, speedup in rows:
         if speedup is None:
             print(f"{name:<{width}}  {'(new)':>12}  {cur_ms:>9.3f} ms  {'n/a':>8}")
+            # A gate cannot pass vacuously: a benchmark that --min-speedup
+            # is supposed to hold but has no baseline entry is an error of
+            # its own (someone renamed the benchmark or forgot to check the
+            # baseline in), distinct from a regression.
+            if (
+                args.min_speedup is not None
+                and (name_filter is None or name_filter.search(name))
+            ):
+                missing_gated.append(name)
             continue
         print(
             f"{name:<{width}}  {base_ms:>9.3f} ms  {cur_ms:>9.3f} ms  {speedup:>7.2f}x"
@@ -108,6 +143,11 @@ def main(argv):
             and (name_filter is None or name_filter.search(name))
         ):
             failed.append((name, speedup))
+
+    speedups = [r[3] for r in rows if r[3] is not None and r[3] > 0]
+    if speedups:
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        print(f"geomean speedup: {geomean:.2f}x over {len(speedups)} benchmarks")
 
     pair_failed = []
     if args.pair_suffix:
@@ -146,6 +186,14 @@ def main(argv):
                 file=sys.stderr,
             )
         return 1
+    if missing_gated:
+        for name in missing_gated:
+            print(
+                f"FAIL: {name} is held to --min-speedup but has no baseline "
+                f"entry in {args.baseline}",
+                file=sys.stderr,
+            )
+        return 4
     return 0
 
 

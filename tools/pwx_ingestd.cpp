@@ -50,6 +50,7 @@
 // bytes_copied / republishes counters and the ingestd.republish_seconds
 // latency histogram, plus the serve.* lifecycle counters in --refresh mode,
 // all in the process-wide pwx::obs registry.
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -146,29 +147,29 @@ public:
     // whatever files are present right now.
     supervisor_->set_refresh_corpus(campaign.paths());
 
-    for (const trace::PhaseProfile& profile : campaign.profiles()) {
-      const acquire::DataRow row =
-          acquire::row_from_profile(profile, workloads::Suite::Roco2);
-      const double estimate =
-          estimator_->estimate_guarded(sample_from_row(row));
-      supervisor_->observe_health(
-          estimator_->health() != core::HealthState::Ok, false);
-      const auto report =
-          supervisor_->observe(estimate, row.avg_power_watts);
-      if (report) {
-        std::fprintf(stderr,
-                     "ingestd: drift refresh #%llu: %s (gen %llu -> %llu, "
-                     "candidate MAPE %.2f%%, incumbent %.2f%%)\n",
-                     static_cast<unsigned long long>(
-                         supervisor_->refreshes_run()),
-                     std::string(serve::refresh_status_name(report->status))
-                         .c_str(),
-                     static_cast<unsigned long long>(
-                         report->incumbent_generation),
-                     static_cast<unsigned long long>(
-                         report->published_generation),
-                     report->candidate_holdout_mape_pct,
-                     report->incumbent_holdout_mape_pct);
+    // Rows are served in chunks through the SIMD batch path: one vector
+    // predict per chunk, then the drift supervisor consumes the estimates in
+    // row order exactly as before. A hot swap published mid-chunk is adopted
+    // at the next chunk boundary instead of the next row — the estimates in
+    // between come from the generation that was serving when the chunk was
+    // built, the same window a swap racing per-row ingestion always had.
+    constexpr std::size_t kChunkRows = 64;
+    const std::vector<trace::PhaseProfile>& profiles = campaign.profiles();
+    for (std::size_t begin = 0; begin < profiles.size(); begin += kChunkRows) {
+      const std::size_t end = std::min(begin + kChunkRows, profiles.size());
+      rows_.clear();
+      samples_.clear();
+      for (std::size_t k = begin; k < end; ++k) {
+        rows_.push_back(
+            acquire::row_from_profile(profiles[k], workloads::Suite::Roco2));
+        samples_.push_back(sample_from_row(rows_.back()));
+      }
+      estimates_.resize(samples_.size());
+      health_.resize(samples_.size());
+      estimator_->estimate_batch_guarded(samples_, batch_scratch_, estimates_,
+                                         health_);
+      for (std::size_t k = 0; k < samples_.size(); ++k) {
+        observe_row(rows_[k], estimates_[k], health_[k]);
       }
     }
   }
@@ -187,6 +188,29 @@ public:
   }
 
 private:
+  /// Feed one served row to the drift supervisor, printing any refresh
+  /// decision it reaches — the per-row half of the old serial loop.
+  void observe_row(const acquire::DataRow& row, double estimate,
+                   core::HealthState health) {
+    supervisor_->observe_health(health != core::HealthState::Ok, false);
+    const auto report = supervisor_->observe(estimate, row.avg_power_watts);
+    if (report) {
+      std::fprintf(stderr,
+                   "ingestd: drift refresh #%llu: %s (gen %llu -> %llu, "
+                   "candidate MAPE %.2f%%, incumbent %.2f%%)\n",
+                   static_cast<unsigned long long>(
+                       supervisor_->refreshes_run()),
+                   std::string(serve::refresh_status_name(report->status))
+                       .c_str(),
+                   static_cast<unsigned long long>(
+                       report->incumbent_generation),
+                   static_cast<unsigned long long>(
+                       report->published_generation),
+                   report->candidate_holdout_mape_pct,
+                   report->incumbent_holdout_mape_pct);
+    }
+  }
+
   bool bootstrap(const trace::IncrementalCampaign& campaign) {
     std::vector<acquire::DataRow> rows;
     for (const trace::PhaseProfile& profile : campaign.profiles()) {
@@ -235,6 +259,12 @@ private:
   acquire::IngestOptions ingest_;
   std::unique_ptr<core::OnlineEstimator> estimator_;
   std::unique_ptr<serve::Supervisor> supervisor_;
+  // Chunk scratch for the batched serving path (reused across republishes).
+  core::SampleBatch batch_scratch_;
+  std::vector<acquire::DataRow> rows_;
+  std::vector<core::CounterSample> samples_;
+  std::vector<double> estimates_;
+  std::vector<core::HealthState> health_;
 };
 
 int usage(const char* argv0) {
@@ -329,6 +359,21 @@ int main(int argc, char** argv) {
     ingest.verify_checksum = options.campaign.verify_checksum;
     RefreshLoop refresh_loop(drift, ingest);
 
+    // Serving-throughput gauge, derived from the batch-path counters: valid
+    // lanes estimated since the previous poll over the wall time between
+    // polls. Registered up front so it shows in --metrics even before the
+    // refresh loop arms (value 0).
+    obs::Gauge& estimates_per_s = obs::registry().gauge(
+        "ingestd.estimates_per_s",
+        "valid samples served through the batched estimator per second");
+    obs::Counter& batch_samples = obs::registry().counter(
+        "estimate.batch.samples", "samples estimated through the batched path");
+    obs::Counter& batch_invalid = obs::registry().counter(
+        "estimate.batch.lanes_invalid",
+        "batched-path lanes rejected by sample validation");
+    double rate_window_start_s = obs::monotonic_s();
+    std::uint64_t rate_window_valid = 0;
+
     const std::uint64_t polls = once ? 1 : max_polls;
     for (std::uint64_t i = 0; polls == 0 || i < polls; ++i) {
       if (i > 0) {
@@ -363,6 +408,19 @@ int main(int argc, char** argv) {
       }
       if (refresh) {
         refresh_loop.on_republish(campaign);
+      }
+      {
+        const double now_s = obs::monotonic_s();
+        const std::uint64_t invalid = batch_invalid.value();
+        const std::uint64_t total = batch_samples.value();
+        const std::uint64_t valid = total > invalid ? total - invalid : 0;
+        if (now_s > rate_window_start_s) {
+          estimates_per_s.set((static_cast<double>(valid) -
+                               static_cast<double>(rate_window_valid)) /
+                              (now_s - rate_window_start_s));
+        }
+        rate_window_start_s = now_s;
+        rate_window_valid = valid;
       }
       if (!quiet) {
         print_profiles(campaign.profiles());
